@@ -1,0 +1,47 @@
+// Shared scaffolding for the experiment binaries in bench/.
+//
+// Every binary regenerates one experiment from DESIGN.md's index and prints
+// a paper-style table plus a one-line verdict tying the measurement back to
+// the claim it reproduces. Binaries accept --seed and --scale (0.25..4) so
+// CI can run them fast and a workstation can run them big.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace rcc::bench {
+
+struct ExperimentSetup {
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  int reps = 3;
+};
+
+/// Parses the standard flags and prints the experiment banner.
+inline ExperimentSetup standard_setup(int argc, char** argv, const char* exp_id,
+                                      const char* claim) {
+  Options opts(std::string(exp_id) + ": " + claim);
+  opts.flag("seed", "42", "PRNG seed");
+  opts.flag("scale", "1.0", "instance size multiplier");
+  opts.flag("reps", "3", "repetitions per configuration");
+  opts.parse(argc, argv);
+  ExperimentSetup setup;
+  setup.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  setup.scale = opts.get_double("scale");
+  setup.reps = static_cast<int>(opts.get_int("reps"));
+  std::printf("=== %s ===\n%s\n(seed=%llu scale=%.2f reps=%d)\n\n", exp_id,
+              claim, static_cast<unsigned long long>(setup.seed), setup.scale,
+              setup.reps);
+  return setup;
+}
+
+inline void verdict(bool ok, const char* message) {
+  std::printf("\n[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", message);
+}
+
+}  // namespace rcc::bench

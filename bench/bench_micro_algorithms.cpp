@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) of the algorithmic kernels the
+// experiments are built on: matching solvers, partitioner, coreset builds.
+// These feed EXP14's scalability narrative with per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rcc;
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto side = static_cast<VertexId>(state.range(0));
+  Rng rng(1);
+  const EdgeList el = random_bipartite(side, side, 6.0 / side, rng);
+  const Graph g = bipartite_graph(el, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g).size());
+  }
+  state.SetItemsProcessed(state.iterations() * el.num_edges());
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Blossom(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(2);
+  const EdgeList el = gnp(n, 6.0 / n, rng);
+  const Graph g(el);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blossom_maximum_matching(g).size());
+  }
+  state.SetItemsProcessed(state.iterations() * el.num_edges());
+}
+BENCHMARK(BM_Blossom)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GreedyMaximal(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(3);
+  const EdgeList el = gnp(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    Rng inner(4);
+    benchmark::DoNotOptimize(
+        greedy_maximal_matching(el, GreedyOrder::kGiven, inner).size());
+  }
+  state.SetItemsProcessed(state.iterations() * el.num_edges());
+}
+BENCHMARK(BM_GreedyMaximal)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RandomPartition(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(5);
+  const EdgeList el = gnp(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    Rng inner(6);
+    benchmark::DoNotOptimize(random_partition(el, 32, inner).size());
+  }
+  state.SetItemsProcessed(state.iterations() * el.num_edges());
+}
+BENCHMARK(BM_RandomPartition)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_PeelingVcCoreset(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(7);
+  const EdgeList el = gnp(n, 12.0 / n, rng);
+  const auto pieces = random_partition(el, 8, rng);
+  const PeelingVcCoreset coreset;
+  PartitionContext ctx{n, 8, 0, 0};
+  for (auto _ : state) {
+    Rng inner(8);
+    benchmark::DoNotOptimize(coreset.build(pieces[0], ctx, inner).size_items());
+  }
+}
+BENCHMARK(BM_PeelingVcCoreset)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_MaximumMatchingCoreset(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(9);
+  const EdgeList el = gnp(n, 8.0 / n, rng);
+  const auto pieces = random_partition(el, 8, rng);
+  const MaximumMatchingCoreset coreset;
+  PartitionContext ctx{n, 8, 0, 0};
+  for (auto _ : state) {
+    Rng inner(10);
+    benchmark::DoNotOptimize(coreset.build(pieces[0], ctx, inner).num_edges());
+  }
+}
+BENCHMARK(BM_MaximumMatchingCoreset)->Arg(1 << 14)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// EXP20: random arrival order helps streaming greedy — the single-machine
+// analogue of the paper's random-partition insight (Section 1.3 cites the
+// random-arrival stream results [38, 44] as kindred uses of randomness).
+//
+// Instance: a union of 4-vertex paths a-b-c-d (maximum matching = 2 per
+// path). An adversarial stream offers the middle edge (b, c) first, locking
+// greedy to 1 per path (ratio 2 — greedy's worst case); a uniformly random
+// arrival order recovers most of the loss. The Crouch-Stubbs weighted
+// streamer is measured on the same instances with weights.
+#include "bench_common.hpp"
+#include "graph/edge_list.hpp"
+#include "matching/max_matching.hpp"
+#include "streaming/streaming_matching.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace rcc;
+
+/// Union of `paths` disjoint 4-vertex paths; returns edges in adversarial
+/// order: all middle edges first.
+EdgeList path_gadget(VertexId paths, bool middle_first) {
+  EdgeList out(4 * paths);
+  if (middle_first) {
+    for (VertexId i = 0; i < paths; ++i) out.add(4 * i + 1, 4 * i + 2);
+    for (VertexId i = 0; i < paths; ++i) {
+      out.add(4 * i, 4 * i + 1);
+      out.add(4 * i + 2, 4 * i + 3);
+    }
+  } else {
+    for (VertexId i = 0; i < paths; ++i) {
+      out.add(4 * i, 4 * i + 1);
+      out.add(4 * i + 1, 4 * i + 2);
+      out.add(4 * i + 2, 4 * i + 3);
+    }
+  }
+  return out;
+}
+
+double streamed_ratio(const EdgeList& stream, std::size_t opt) {
+  StreamingMaximalMatching alg(stream.num_vertices());
+  for (const Edge& e : stream) alg.offer(e.u, e.v);
+  return static_cast<double>(opt) / static_cast<double>(alg.matching().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rcc;
+  auto setup = bench::standard_setup(
+      argc, argv, "EXP20/bench_streaming",
+      "random arrival order rescues streaming greedy from its worst case — "
+      "the single-machine analogue of random partitioning");
+  Rng rng(setup.seed);
+  const auto paths = static_cast<VertexId>(50000 * setup.scale);
+  const std::size_t opt = 2 * static_cast<std::size_t>(paths);
+
+  TablePrinter table({"arrival order", "greedy matching", "ratio"});
+  const EdgeList adversarial = path_gadget(paths, /*middle_first=*/true);
+  const double adv_ratio = streamed_ratio(adversarial, opt);
+  table.add_row({"adversarial (middle edges first)",
+                 TablePrinter::fmt(std::uint64_t{
+                     static_cast<std::uint64_t>(opt / adv_ratio)}),
+                 TablePrinter::fmt_ratio(adv_ratio)});
+
+  RunningStat random_ratio;
+  for (int rep = 0; rep < setup.reps; ++rep) {
+    std::vector<Edge> shuffled(adversarial.begin(), adversarial.end());
+    rng.shuffle(shuffled);
+    const EdgeList stream(adversarial.num_vertices(), std::move(shuffled));
+    random_ratio.add(streamed_ratio(stream, opt));
+  }
+  table.add_row({"uniformly random",
+                 TablePrinter::fmt(std::uint64_t{static_cast<std::uint64_t>(
+                     opt / random_ratio.mean())}),
+                 TablePrinter::fmt_ratio(random_ratio.mean())});
+
+  // Weighted streamer on the same topology with heavy outer edges: the
+  // class structure must recover the heavy edges even in adversarial order.
+  {
+    StreamingWeightedMatching weighted(adversarial.num_vertices());
+    double opt_weight = 0.0;
+    for (VertexId i = 0; i < paths; ++i) {
+      weighted.offer(4 * i + 1, 4 * i + 2, 1.0);  // light middle first
+    }
+    for (VertexId i = 0; i < paths; ++i) {
+      weighted.offer(4 * i, 4 * i + 1, 16.0);
+      weighted.offer(4 * i + 2, 4 * i + 3, 16.0);
+      opt_weight += 32.0;
+    }
+    WeightedEdgeList wgraph;
+    wgraph.num_vertices = adversarial.num_vertices();
+    for (VertexId i = 0; i < paths; ++i) {
+      wgraph.add(4 * i + 1, 4 * i + 2, 1.0);
+      wgraph.add(4 * i, 4 * i + 1, 16.0);
+      wgraph.add(4 * i + 2, 4 * i + 3, 16.0);
+    }
+    const double got = matching_weight(weighted.finalize(), wgraph);
+    table.add_row({"weighted CS streamer (adversarial)",
+                   TablePrinter::fmt(got, 0),
+                   TablePrinter::fmt_ratio(opt_weight / got)});
+  }
+  table.print();
+
+  const bool shape = adv_ratio > 1.9 && random_ratio.mean() < 1.5;
+  bench::verdict(shape,
+                 "adversarial arrival pins greedy at its worst-case ratio 2; "
+                 "random arrival drops it to ~1.2-1.3, and the weighted "
+                 "class structure neutralizes the order entirely");
+  return shape ? 0 : 1;
+}

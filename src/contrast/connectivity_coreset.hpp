@@ -1,0 +1,42 @@
+// Contrast system: problems that admit *deterministic* composable coresets.
+//
+// The paper's introduction situates matching/vertex cover against problems
+// where composable coresets were already known — "connectivity, cut
+// sparsifiers, and spanners" — which work under ANY partitioning of the
+// edges, not just a random one. This module implements the canonical
+// example (spanning forests for connectivity) plus a greedy spanner, so
+// the experiments can demonstrate the contrast: the connectivity coreset
+// is exact under adversarial partitions where matching guarantees need the
+// random-partition assumption.
+#pragma once
+
+#include "coreset/coreset.hpp"
+#include "graph/edge_list.hpp"
+
+namespace rcc {
+
+/// A spanning forest of the graph (arbitrary one), <= n-1 edges.
+EdgeList spanning_forest(const EdgeList& edges);
+
+/// The classic composability fact, executable: a spanning forest of the
+/// union of per-piece spanning forests spans the union. This coreset works
+/// for ANY partition of the edges.
+class SpanningForestCoreset final : public MatchingCoreset {
+  // Reuses the MatchingCoreset interface shape (piece -> subgraph summary);
+  // the composition target is connectivity, not matching.
+ public:
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "spanning-forest"; }
+};
+
+/// Greedy (2t-1)-spanner of an unweighted graph: scan edges, keep (u, v)
+/// unless the current spanner already connects u to v within 2t-1 hops.
+/// For t = 2 the output has O(n^{3/2}) edges on any graph.
+EdgeList greedy_spanner(const EdgeList& edges, int t);
+
+/// Exact hop distance between two vertices by BFS (kInvalidVertex-sized
+/// sentinel = unreachable). Used to validate spanner stretch in tests.
+std::uint64_t bfs_distance(const EdgeList& edges, VertexId from, VertexId to);
+
+}  // namespace rcc

@@ -1,0 +1,37 @@
+// Worst-case maximal matchings for the hub-gadget instance (R1c).
+//
+// Theorem 1 is about *maximum* matchings; the paper observes (Section 1.2)
+// that an *arbitrary maximal* matching coreset can be Omega(k)-approximate.
+// "Arbitrary" means an adversary may pick, among all maximal matchings of a
+// piece, the most destructive one. This class realizes that adversary for
+// the hub gadget: in every piece it first matches the left vertices whose
+// planted edge (a_i, b_i) landed in this very piece to hub vertices, so the
+// planted edge is blocked and never enters the summary; the summaries then
+// only contain edges incident on the Theta(n/k) hubs, capping the composed
+// matching at Theta(n/k).
+//
+// This is still an honest maximal matching of the piece — the adversary
+// only exploits the freedom the maximal-matching coreset definition grants.
+#pragma once
+
+#include "coreset/coreset.hpp"
+#include "graph/generators.hpp"
+
+namespace rcc {
+
+class HubAdversarialMaximalCoreset final : public MatchingCoreset {
+ public:
+  /// `gadget` describes the instance layout (pair count n, hub count).
+  explicit HubAdversarialMaximalCoreset(const HubGadget& gadget)
+      : n_(gadget.n), hubs_(gadget.hubs) {}
+
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "adversarial-maximal-matching"; }
+
+ private:
+  VertexId n_;
+  VertexId hubs_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,52 @@
+// Size-budgeted coresets: the empirical probe behind the Theorem 3/4 lower
+// bounds.
+//
+// The lower bounds say: *whatever* an s-item summary keeps, if s is small it
+// cannot preferentially keep the edges that matter (the hidden perfect
+// matching E_{A-bar,B-bar} in D_Matching; the hidden edge e* in D_VC),
+// because those edges are statistically indistinguishable from decoys using
+// only the machine's local view. The wrapper below truncates any coreset to
+// a budget under several *local* selection policies; the experiments show
+// the recovered-value curve is policy-independent, which is precisely the
+// indistinguishability argument made quantitative.
+#pragma once
+
+#include <memory>
+
+#include "coreset/coreset.hpp"
+
+namespace rcc {
+
+enum class BudgetPolicy {
+  kRandom,           // keep a uniform subset of the summary
+  kFirst,            // keep the first `budget` edges (scan order)
+  kLowDegreeFirst,   // keep edges with the smallest local endpoint degrees
+  kHighDegreeFirst,  // keep edges with the largest local endpoint degrees
+};
+
+const char* budget_policy_name(BudgetPolicy p);
+
+/// Truncates `summary` to at most `budget` edges. Degree policies rank an
+/// edge by deg(u) + deg(v) in the machine's *own piece* (local information
+/// only, as the model demands).
+EdgeList truncate_to_budget(const EdgeList& summary, const EdgeList& piece,
+                            std::size_t budget, BudgetPolicy policy, Rng& rng);
+
+/// A MatchingCoreset that wraps another and truncates its output.
+class BudgetedMatchingCoreset final : public MatchingCoreset {
+ public:
+  BudgetedMatchingCoreset(std::shared_ptr<const MatchingCoreset> inner,
+                          std::size_t budget, BudgetPolicy policy)
+      : inner_(std::move(inner)), budget_(budget), policy_(policy) {}
+
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<const MatchingCoreset> inner_;
+  std::size_t budget_;
+  BudgetPolicy policy_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,58 @@
+// Randomized composable coreset interfaces (Definition in Section 1,
+// following [52] with the paper's graph adaptation).
+//
+// A coreset algorithm maps a machine's piece G(i) of a random k-partitioning
+// to a small summary. For matching the summary is a subgraph (an edge list);
+// for vertex cover the paper augments the definition so the summary may also
+// contain a *fixed solution*: vertices added directly to the final cover.
+// Size is measured in edges plus fixed vertices (Section 1, "we further
+// augment this definition...").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// Summary sent by one machine for the vertex cover problem.
+struct VcCoresetOutput {
+  EdgeList residual_edges;               // subgraph part of the summary
+  std::vector<VertexId> fixed_vertices;  // joined directly into the cover
+
+  /// Size in "items" (edges + fixed vertices), the coreset size measure.
+  std::size_t size_items() const {
+    return residual_edges.num_edges() + fixed_vertices.size();
+  }
+};
+
+/// Strategy interface: matching coresets emit a subgraph.
+class MatchingCoreset {
+ public:
+  virtual ~MatchingCoreset() = default;
+
+  /// Builds the summary for one piece. `ctx` carries the only global
+  /// knowledge machines have (n, k, own index, bipartition boundary).
+  virtual EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                         Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Strategy interface: vertex cover coresets emit a subgraph plus a fixed
+/// partial solution.
+class VertexCoverCoreset {
+ public:
+  virtual ~VertexCoverCoreset() = default;
+
+  virtual VcCoresetOutput build(const EdgeList& piece,
+                                const PartitionContext& ctx, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rcc

@@ -1,0 +1,28 @@
+#include "coreset/kernel.hpp"
+
+namespace rcc {
+
+EdgeList vertex_cap_kernel(const EdgeList& edges, VertexId cap) {
+  std::vector<VertexId> kept(edges.num_vertices(), 0);
+  EdgeList out(edges.num_vertices());
+  for (const Edge& e : edges) {
+    if (kept[e.u] < cap && kept[e.v] < cap) {
+      out.add(e);
+      ++kept[e.u];
+      ++kept[e.v];
+    }
+  }
+  return out;
+}
+
+EdgeList KernelMatchingCoreset::build(const EdgeList& piece,
+                                      const PartitionContext& /*ctx*/,
+                                      Rng& /*rng*/) const {
+  return vertex_cap_kernel(piece, cap_);
+}
+
+std::string KernelMatchingCoreset::name() const {
+  return "kernel/cap=" + std::to_string(cap_);
+}
+
+}  // namespace rcc

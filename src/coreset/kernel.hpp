@@ -1,0 +1,42 @@
+// Degree-capped kernels: the "small opt" exact coreset of footnote 3.
+//
+// The paper assumes MM(G), VC(G) = omega(k log n) and notes that otherwise
+// the sketches of Chitnis et al. [20] give *exact* coresets of size
+// O~(k^2). The combinatorial core of that result is the classic
+// parameterized kernel: keeping, for every vertex, an arbitrary set of up
+// to `cap` incident edges preserves every matching of size <= cap exactly
+// (an exchange argument: a lost matching edge (u,v) implies cap kept edges
+// at u, not all of which can be blocked by the other cap-1 matching edges).
+//
+// KernelMatchingCoreset ships the capped kernel of the piece; with
+// cap >= MM(G) the composition is exact, and the summary has at most
+// cap * n / ... in general but O(cap^2) edges once the piece itself has a
+// small matching (all edges concentrate around <= 2*cap vertex-disjoint
+// matched vertices' neighborhoods).
+#pragma once
+
+#include "coreset/coreset.hpp"
+
+namespace rcc {
+
+/// Keeps at most `cap` incident edges per vertex (first-seen order).
+/// Preserves MM exactly when MM(G) <= cap; see kernel tests for the
+/// property sweep.
+EdgeList vertex_cap_kernel(const EdgeList& edges, VertexId cap);
+
+/// Matching coreset that sends the degree-capped kernel of the piece.
+class KernelMatchingCoreset final : public MatchingCoreset {
+ public:
+  explicit KernelMatchingCoreset(VertexId cap) : cap_(cap) {
+    RCC_CHECK(cap >= 1);
+  }
+
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  VertexId cap_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,28 @@
+#include "coreset/matching_coresets.hpp"
+
+#include "matching/max_matching.hpp"
+
+namespace rcc {
+
+EdgeList MaximumMatchingCoreset::build(const EdgeList& piece,
+                                       const PartitionContext& ctx,
+                                       Rng& /*rng*/) const {
+  return maximum_matching(piece, ctx.left_size).to_edge_list();
+}
+
+EdgeList MaximalMatchingCoreset::build(const EdgeList& piece,
+                                       const PartitionContext& /*ctx*/,
+                                       Rng& rng) const {
+  const Matching m = key_ ? greedy_maximal_matching_by(piece, key_)
+                          : greedy_maximal_matching(piece, order_, rng);
+  return m.to_edge_list();
+}
+
+EdgeList SubsampledMatchingCoreset::build(const EdgeList& piece,
+                                          const PartitionContext& ctx,
+                                          Rng& rng) const {
+  const EdgeList mm = maximum_matching(piece, ctx.left_size).to_edge_list();
+  return mm.subsample(1.0 / alpha_, rng);
+}
+
+}  // namespace rcc

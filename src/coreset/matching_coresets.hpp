@@ -1,0 +1,64 @@
+// Concrete matching coresets.
+//
+//  * MaximumMatchingCoreset — the paper's Theorem 1: send any maximum
+//    matching of the piece. O(1)-approximate under random partitioning.
+//  * MaximalMatchingCoreset — the natural greedy idea the paper rejects
+//    (Section 1.2): an arbitrary maximal matching per piece can lose a
+//    factor Omega(k). Edge-order policies expose that adversarial freedom.
+//  * SubsampledMatchingCoreset — Remark 5.2: maximum matching subsampled at
+//    rate 1/alpha; alpha-approximate with O~(nk/alpha^2) total
+//    communication, matching the Theorem 5 lower bound.
+#pragma once
+
+#include <functional>
+
+#include "coreset/coreset.hpp"
+#include "matching/greedy.hpp"
+
+namespace rcc {
+
+class MaximumMatchingCoreset final : public MatchingCoreset {
+ public:
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "maximum-matching"; }
+};
+
+/// Maximal matching under a configurable edge order. An edge-key function
+/// (smaller key scanned first) makes the adversarial Omega(k) order of the
+/// hub-gadget experiment expressible; without a key the scan order is
+/// random or input order.
+class MaximalMatchingCoreset final : public MatchingCoreset {
+ public:
+  explicit MaximalMatchingCoreset(GreedyOrder order = GreedyOrder::kRandom)
+      : order_(order) {}
+  explicit MaximalMatchingCoreset(std::function<double(const Edge&)> key)
+      : key_(std::move(key)) {}
+
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "maximal-matching"; }
+
+ private:
+  GreedyOrder order_ = GreedyOrder::kRandom;
+  std::function<double(const Edge&)> key_;  // empty = use order_
+};
+
+/// Maximum matching with each matched edge kept independently w.p. 1/alpha.
+class SubsampledMatchingCoreset final : public MatchingCoreset {
+ public:
+  explicit SubsampledMatchingCoreset(double alpha) : alpha_(alpha) {
+    RCC_CHECK(alpha >= 1.0);
+  }
+
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "subsampled-maximum-matching"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace rcc

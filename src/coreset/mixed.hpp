@@ -1,0 +1,24 @@
+// Algorithm-independence ablation for Theorem 1.
+//
+// The paper stresses that its matching coreset "requires no prior
+// coordination ... and in fact each machine can use a different algorithm
+// for computing the maximum matching" (Section 1.2). This coreset makes
+// that claim executable: machines rotate between three genuinely different
+// maximum-matching computations (different algorithms and different edge
+// orders, hence generally different — but all maximum — matchings). The
+// EXP16 ablation checks the composed ratio is indistinguishable from the
+// single-algorithm coreset.
+#pragma once
+
+#include "coreset/coreset.hpp"
+
+namespace rcc {
+
+class MixedMaximumMatchingCoreset final : public MatchingCoreset {
+ public:
+  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+                 Rng& rng) const override;
+  std::string name() const override { return "mixed-maximum-matching"; }
+};
+
+}  // namespace rcc

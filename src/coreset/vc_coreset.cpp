@@ -1,0 +1,52 @@
+#include "coreset/vc_coreset.hpp"
+
+#include <cmath>
+
+namespace rcc {
+
+int PeelingVcCoreset::num_levels(VertexId n, std::size_t k) {
+  const double nn = std::max<double>(n, 2);
+  const double floor_threshold = 4.0 * std::log2(nn);
+  int delta = 1;
+  while (nn / (static_cast<double>(k) * std::exp2(delta)) > floor_threshold) {
+    ++delta;
+  }
+  return delta;
+}
+
+VcCoresetOutput PeelingVcCoreset::build(const EdgeList& piece,
+                                        const PartitionContext& ctx,
+                                        Rng& /*rng*/) const {
+  const double n = std::max<double>(ctx.num_vertices, 2);
+  const double k = static_cast<double>(ctx.k);
+  const int delta = num_levels(ctx.num_vertices, ctx.k);
+
+  VcCoresetOutput out;
+  std::vector<bool> removed(piece.num_vertices(), false);
+  EdgeList current = piece;
+  for (int j = 1; j <= delta - 1; ++j) {
+    const double thr = n / (k * std::exp2(j + 1));
+    const auto deg = current.degrees();
+    for (VertexId v = 0; v < piece.num_vertices(); ++v) {
+      if (!removed[v] && static_cast<double>(deg[v]) >= thr) {
+        removed[v] = true;
+        out.fixed_vertices.push_back(v);
+      }
+    }
+    current = current.filter(
+        [&](const Edge& e) { return !removed[e.u] && !removed[e.v]; });
+  }
+  out.residual_edges = std::move(current);
+  return out;
+}
+
+VcCoresetOutput MinVcOfPieceCoreset::build(const EdgeList& piece,
+                                           const PartitionContext& /*ctx*/,
+                                           Rng& /*rng*/) const {
+  VcCoresetOutput out;
+  out.residual_edges = EdgeList(piece.num_vertices());
+  out.fixed_vertices = forest_min_vertex_cover(piece, tie_).vertices();
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,48 @@
+#include "coreset/weighted_coreset.hpp"
+
+#include <unordered_map>
+
+#include "matching/max_matching.hpp"
+
+namespace rcc {
+
+WeightedCoresetOutput crouch_stubbs_coreset(const WeightedEdgeList& piece,
+                                            const PartitionContext& ctx,
+                                            double class_base) {
+  WeightedCoresetOutput out;
+  out.edges.num_vertices = piece.num_vertices;
+
+  // Weight lookup so matched class edges can be re-emitted with weights.
+  std::unordered_map<Edge, double, EdgeHash> weight_of;
+  weight_of.reserve(piece.edges.size() * 2);
+  for (const WeightedEdge& we : piece.edges) {
+    auto [it, inserted] = weight_of.try_emplace(we.edge(), we.weight);
+    if (!inserted && we.weight > it->second) it->second = we.weight;
+  }
+
+  const WeightClasses wc = split_weight_classes(piece, class_base);
+  for (const EdgeList& cls : wc.classes) {
+    if (cls.empty()) continue;
+    EdgeList dedup_cls = cls;
+    dedup_cls.dedup();
+    const Matching m = maximum_matching(dedup_cls, ctx.left_size);
+    for (const Edge& e : m.to_edge_list()) {
+      out.edges.add(e.u, e.v, weight_of.at(e));
+    }
+  }
+  return out;
+}
+
+Matching compose_weighted_coresets(
+    const std::vector<WeightedCoresetOutput>& coresets, VertexId num_vertices,
+    VertexId left_size, double class_base) {
+  WeightedEdgeList all;
+  all.num_vertices = num_vertices;
+  for (const auto& c : coresets) {
+    RCC_CHECK(c.edges.num_vertices == num_vertices);
+    all.edges.insert(all.edges.end(), c.edges.edges.begin(), c.edges.edges.end());
+  }
+  return crouch_stubbs_matching(all, left_size, class_base);
+}
+
+}  // namespace rcc

@@ -1,0 +1,36 @@
+// Weighted matching coresets via the Crouch-Stubbs reduction (Section 1.1).
+//
+// Each machine splits its weighted piece into geometric weight classes and
+// sends a maximum (unweighted) matching of every class — O(log n) classes,
+// so the coreset grows by an O(log n) factor; the composition loses at most
+// a further factor 2 from the greedy class merge, matching the paper's
+// "factor 2 loss in approximation and extra O(log n) term in the space".
+#pragma once
+
+#include <vector>
+
+#include "matching/weighted.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+
+/// Summary for one machine: the union of per-class maximum matchings, kept
+/// with their weights so the coordinator can run the weighted merge.
+struct WeightedCoresetOutput {
+  WeightedEdgeList edges;
+
+  std::size_t size_items() const { return edges.edges.size(); }
+};
+
+/// Builds the Crouch-Stubbs coreset of one weighted piece.
+WeightedCoresetOutput crouch_stubbs_coreset(const WeightedEdgeList& piece,
+                                            const PartitionContext& ctx,
+                                            double class_base = 2.0);
+
+/// Coordinator side: unions the summaries and runs the Crouch-Stubbs merge.
+Matching compose_weighted_coresets(
+    const std::vector<WeightedCoresetOutput>& coresets, VertexId num_vertices,
+    VertexId left_size = 0, double class_base = 2.0);
+
+}  // namespace rcc

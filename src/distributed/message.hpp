@@ -1,0 +1,57 @@
+// Communication-cost accounting for the coordinator model (Section 2).
+//
+// Costs are measured in *words* of ceil(log2 n) bits — the unit in which
+// the paper states its Theta(nk) upper bounds and Omega(nk/alpha^2),
+// Omega(nk/alpha) lower bounds. An edge costs two words (two vertex ids); a
+// fixed-solution vertex costs one.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// Bits per vertex id for an n-vertex universe.
+inline std::uint64_t word_bits(VertexId n) {
+  return static_cast<std::uint64_t>(
+      std::ceil(std::log2(std::max<double>(n, 2.0))));
+}
+
+/// One machine's message: so-many edges plus so-many bare vertex ids.
+struct MessageSize {
+  std::uint64_t edges = 0;
+  std::uint64_t vertices = 0;
+
+  std::uint64_t words() const { return 2 * edges + vertices; }
+  std::uint64_t bits(VertexId n) const { return words() * word_bits(n); }
+};
+
+/// Aggregated communication ledger of one protocol run.
+struct CommStats {
+  std::vector<MessageSize> per_machine;
+
+  std::uint64_t total_words() const {
+    std::uint64_t t = 0;
+    for (const auto& m : per_machine) t += m.words();
+    return t;
+  }
+
+  std::uint64_t max_machine_words() const {
+    std::uint64_t mx = 0;
+    for (const auto& m : per_machine) mx = std::max(mx, m.words());
+    return mx;
+  }
+
+  std::uint64_t total_bits(VertexId n) const {
+    return total_words() * word_bits(n);
+  }
+
+  double total_megabytes(VertexId n) const {
+    return static_cast<double>(total_bits(n)) / 8.0 / 1024.0 / 1024.0;
+  }
+};
+
+}  // namespace rcc

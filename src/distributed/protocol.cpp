@@ -1,0 +1,109 @@
+#include "distributed/protocol.hpp"
+
+#include "partition/partition.hpp"
+#include "util/timer.hpp"
+
+namespace rcc {
+
+namespace {
+
+/// Runs fn(machine_index, machine_rng) for every machine, in parallel when a
+/// pool is provided. RNG streams are forked up front so the outcome does not
+/// depend on thread scheduling.
+void run_machines(std::size_t k, Rng& rng, ThreadPool* pool,
+                  const std::function<void(std::size_t, Rng&)>& fn) {
+  std::vector<Rng> machine_rngs;
+  machine_rngs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
+  if (pool != nullptr) {
+    parallel_for(*pool, k, [&](std::size_t i) { fn(i, machine_rngs[i]); });
+  } else {
+    for (std::size_t i = 0; i < k; ++i) fn(i, machine_rngs[i]);
+  }
+}
+
+}  // namespace
+
+MatchingProtocolResult run_matching_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const MatchingCoreset& coreset,
+    ComposeSolver solver, VertexId left_size, Rng& rng, ThreadPool* pool) {
+  MatchingProtocolResult result;
+  const std::size_t k = pieces.size();
+  RCC_CHECK(k >= 1);
+  const VertexId n = pieces.front().num_vertices();
+
+  WallTimer timer;
+  result.summaries.assign(k, EdgeList(n));
+  run_machines(k, rng, pool, [&](std::size_t i, Rng& machine_rng) {
+    PartitionContext ctx{n, k, i, left_size};
+    result.summaries[i] = coreset.build(pieces[i], ctx, machine_rng);
+  });
+  result.timing.summaries_seconds = timer.seconds();
+
+  result.comm.per_machine.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.comm.per_machine[i].edges = result.summaries[i].num_edges();
+  }
+
+  timer.reset();
+  result.matching =
+      compose_matching_coresets(result.summaries, solver, left_size, rng);
+  result.timing.combine_seconds = timer.seconds();
+  return result;
+}
+
+MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
+                                             std::size_t k,
+                                             const MatchingCoreset& coreset,
+                                             ComposeSolver solver,
+                                             VertexId left_size, Rng& rng,
+                                             ThreadPool* pool) {
+  WallTimer timer;
+  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
+  const double partition_seconds = timer.seconds();
+  MatchingProtocolResult result = run_matching_protocol_on_partition(
+      pieces, coreset, solver, left_size, rng, pool);
+  result.timing.partition_seconds = partition_seconds;
+  return result;
+}
+
+VcProtocolResult run_vc_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const VertexCoverCoreset& coreset,
+    VertexId num_vertices, Rng& rng, ThreadPool* pool) {
+  VcProtocolResult result;
+  const std::size_t k = pieces.size();
+  RCC_CHECK(k >= 1);
+
+  WallTimer timer;
+  std::vector<VcCoresetOutput> summaries(k);
+  run_machines(k, rng, pool, [&](std::size_t i, Rng& machine_rng) {
+    PartitionContext ctx{num_vertices, k, i, 0};
+    summaries[i] = coreset.build(pieces[i], ctx, machine_rng);
+  });
+  result.timing.summaries_seconds = timer.seconds();
+
+  result.comm.per_machine.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.comm.per_machine[i].edges = summaries[i].residual_edges.num_edges();
+    result.comm.per_machine[i].vertices = summaries[i].fixed_vertices.size();
+  }
+
+  timer.reset();
+  result.cover = compose_vc_coresets(summaries, num_vertices, rng);
+  result.timing.combine_seconds = timer.seconds();
+  return result;
+}
+
+VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
+                                 const VertexCoverCoreset& coreset, Rng& rng,
+                                 ThreadPool* pool) {
+  WallTimer timer;
+  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
+  const double partition_seconds = timer.seconds();
+  VcProtocolResult result = run_vc_protocol_on_partition(
+      pieces, coreset, graph.num_vertices(), rng, pool);
+  result.timing.partition_seconds = partition_seconds;
+  return result;
+}
+
+}  // namespace rcc

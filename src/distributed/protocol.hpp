@@ -1,0 +1,66 @@
+// The simultaneous protocol engine for the coordinator model.
+//
+// One run = random k-partitioning -> every machine builds its summary
+// simultaneously (thread pool; one task per machine; independent forked RNG
+// streams so results are deterministic regardless of scheduling) -> the
+// coordinator combines the summaries with no further interaction.
+#pragma once
+
+#include <vector>
+
+#include "coreset/compose.hpp"
+#include "coreset/coreset.hpp"
+#include "distributed/message.hpp"
+#include "matching/matching.hpp"
+#include "util/thread_pool.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+struct ProtocolTiming {
+  double partition_seconds = 0.0;
+  double summaries_seconds = 0.0;  // wall time of the parallel machine phase
+  double combine_seconds = 0.0;
+};
+
+struct MatchingProtocolResult {
+  Matching matching;
+  CommStats comm;
+  ProtocolTiming timing;
+  std::vector<EdgeList> summaries;  // retained for probes (hidden-edge counts)
+};
+
+struct VcProtocolResult {
+  VertexCover cover;
+  CommStats comm;
+  ProtocolTiming timing;
+};
+
+/// Runs the simultaneous matching protocol: coreset per machine, then the
+/// coordinator solves the union. `left_size` > 0 declares the instance
+/// bipartite (known to all parties, as in the paper's hard distributions).
+/// `pool` may be null for sequential execution.
+MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
+                                             std::size_t k,
+                                             const MatchingCoreset& coreset,
+                                             ComposeSolver solver,
+                                             VertexId left_size, Rng& rng,
+                                             ThreadPool* pool = nullptr);
+
+/// Same engine over a pre-made partition (lets experiments contrast random
+/// vs adversarial partitionings on identical edges).
+MatchingProtocolResult run_matching_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const MatchingCoreset& coreset,
+    ComposeSolver solver, VertexId left_size, Rng& rng,
+    ThreadPool* pool = nullptr);
+
+/// Runs the simultaneous vertex cover protocol.
+VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
+                                 const VertexCoverCoreset& coreset, Rng& rng,
+                                 ThreadPool* pool = nullptr);
+
+VcProtocolResult run_vc_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const VertexCoverCoreset& coreset,
+    VertexId num_vertices, Rng& rng, ThreadPool* pool = nullptr);
+
+}  // namespace rcc

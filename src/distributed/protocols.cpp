@@ -1,0 +1,105 @@
+#include "distributed/protocols.hpp"
+
+#include <cmath>
+
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "partition/partition.hpp"
+#include "util/timer.hpp"
+
+namespace rcc {
+
+MatchingProtocolResult coreset_matching_protocol(const EdgeList& graph,
+                                                 std::size_t k,
+                                                 VertexId left_size, Rng& rng,
+                                                 ThreadPool* pool) {
+  const MaximumMatchingCoreset coreset;
+  return run_matching_protocol(graph, k, coreset, ComposeSolver::kMaximum,
+                               left_size, rng, pool);
+}
+
+MatchingProtocolResult subsampled_matching_protocol(const EdgeList& graph,
+                                                    std::size_t k, double alpha,
+                                                    VertexId left_size, Rng& rng,
+                                                    ThreadPool* pool) {
+  const SubsampledMatchingCoreset coreset(alpha);
+  return run_matching_protocol(graph, k, coreset, ComposeSolver::kMaximum,
+                               left_size, rng, pool);
+}
+
+VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
+                                     Rng& rng, ThreadPool* pool) {
+  const PeelingVcCoreset coreset;
+  return run_vc_protocol(graph, k, coreset, rng, pool);
+}
+
+VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
+                                     double alpha, Rng& rng, ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  const double log_n = std::log2(std::max<double>(n, 2.0));
+  const VertexId g = static_cast<VertexId>(
+      std::max(1.0, std::floor(alpha / log_n)));
+  const VertexId n_groups = (n + g - 1) / g;
+
+  WallTimer timer;
+  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
+  const double partition_seconds = timer.seconds();
+
+  // Machine-local contraction. Edges internal to a group cannot survive the
+  // contraction (they would be self-loops); the machine pins those groups
+  // into its fixed solution instead, which is sound because the expansion of
+  // the group contains both endpoints.
+  std::vector<EdgeList> contracted(k, EdgeList(n_groups));
+  std::vector<std::vector<VertexId>> pinned_groups(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<bool> pinned(n_groups, false);
+    for (const Edge& e : pieces[i]) {
+      const VertexId gu = e.u / g;
+      const VertexId gv = e.v / g;
+      if (gu == gv) {
+        if (!pinned[gu]) {
+          pinned[gu] = true;
+          pinned_groups[i].push_back(gu);
+        }
+      } else {
+        contracted[i].add(gu, gv);  // multigraph: parallel edges preserved
+      }
+    }
+    // Edges incident to a pinned group are already covered locally.
+    contracted[i] = contracted[i].filter(
+        [&](const Edge& e) { return !pinned[e.u] && !pinned[e.v]; });
+  }
+
+  const PeelingVcCoreset coreset;
+  VcProtocolResult grouped = run_vc_protocol_on_partition(
+      contracted, coreset, n_groups, rng, pool);
+  grouped.timing.partition_seconds = partition_seconds;
+
+  // Account the pinned groups as part of each machine's message.
+  for (std::size_t i = 0; i < k; ++i) {
+    grouped.comm.per_machine[i].vertices += pinned_groups[i].size();
+  }
+
+  // Expand group cover back to original vertices.
+  VertexCover expanded(n);
+  auto expand_group = [&](VertexId group) {
+    const VertexId begin = group * g;
+    const VertexId end = std::min<VertexId>(begin + g, n);
+    for (VertexId v = begin; v < end; ++v) expanded.insert(v);
+  };
+  for (VertexId group = 0; group < n_groups; ++group) {
+    if (grouped.cover.contains(group)) expand_group(group);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (VertexId group : pinned_groups[i]) expand_group(group);
+  }
+
+  VcProtocolResult result;
+  result.cover = std::move(expanded);
+  result.comm = std::move(grouped.comm);
+  result.timing = grouped.timing;
+  RCC_CHECK(result.cover.covers(graph));
+  return result;
+}
+
+}  // namespace rcc

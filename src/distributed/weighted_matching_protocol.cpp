@@ -1,0 +1,46 @@
+#include "distributed/weighted_matching_protocol.hpp"
+
+#include "matching/weighted.hpp"
+#include "partition/partition.hpp"
+
+namespace rcc {
+
+WeightedMatchingProtocolResult weighted_matching_protocol(
+    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool, double class_base) {
+  WeightedMatchingProtocolResult result;
+  const auto pieces = random_partition_weighted(graph, k, rng);
+
+  std::vector<WeightedCoresetOutput> summaries(k);
+  std::vector<Rng> machine_rngs;
+  machine_rngs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
+
+  auto machine_work = [&](std::size_t i) {
+    PartitionContext ctx{graph.num_vertices, k, i, left_size};
+    summaries[i] = crouch_stubbs_coreset(pieces[i], ctx, class_base);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, k, machine_work);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) machine_work(i);
+  }
+
+  result.comm.per_machine.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // A weighted edge message: two vertex ids + one weight word.
+    result.comm.per_machine[i].edges = summaries[i].edges.edges.size();
+    result.comm.per_machine[i].vertices = summaries[i].edges.edges.size();
+    result.max_classes_per_machine =
+        std::max(result.max_classes_per_machine,
+                 split_weight_classes(summaries[i].edges, class_base)
+                     .classes.size());
+  }
+
+  result.matching = compose_weighted_coresets(summaries, graph.num_vertices,
+                                              left_size, class_base);
+  result.matching_weight = matching_weight(result.matching, graph);
+  return result;
+}
+
+}  // namespace rcc

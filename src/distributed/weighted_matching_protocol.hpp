@@ -1,0 +1,24 @@
+// Weighted maximum matching in the simultaneous model: the Crouch-Stubbs
+// coreset per machine, weighted merge at the coordinator, with the same
+// word-exact communication accounting as the unweighted protocols.
+#pragma once
+
+#include "coreset/weighted_coreset.hpp"
+#include "distributed/message.hpp"
+#include "matching/matching.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rcc {
+
+struct WeightedMatchingProtocolResult {
+  Matching matching;
+  double matching_weight = 0.0;
+  CommStats comm;  // a weighted edge costs 3 words: two ids + one weight
+  std::size_t max_classes_per_machine = 0;
+};
+
+WeightedMatchingProtocolResult weighted_matching_protocol(
+    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool = nullptr, double class_base = 2.0);
+
+}  // namespace rcc

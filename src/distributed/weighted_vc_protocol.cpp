@@ -1,0 +1,90 @@
+#include "distributed/weighted_vc_protocol.hpp"
+
+#include <cmath>
+
+#include "coreset/vc_coreset.hpp"
+#include "partition/partition.hpp"
+
+namespace rcc {
+
+WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
+                                              const VertexWeights& weights,
+                                              std::size_t k, Rng& rng,
+                                              ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  RCC_CHECK(weights.size() == n);
+
+  // 1. Weight classes: class(v) = floor(log2(w_v / w_min)).
+  double wmin = 0.0;
+  for (double w : weights) {
+    RCC_CHECK(w >= 0.0);
+    if (w > 0.0 && (wmin == 0.0 || w < wmin)) wmin = w;
+  }
+  if (wmin == 0.0) wmin = 1.0;  // all-zero weights: a single class
+  std::vector<int> vclass(n, 0);
+  int num_classes = 1;
+  for (VertexId v = 0; v < n; ++v) {
+    if (weights[v] > 0.0) {
+      vclass[v] = static_cast<int>(std::floor(std::log2(weights[v] / wmin)));
+      num_classes = std::max(num_classes, vclass[v] + 1);
+    }
+  }
+  auto edge_class = [&](const Edge& e) {
+    return std::min(vclass[e.u], vclass[e.v]);
+  };
+
+  // 2-3. Partition once; per machine, build one peeling summary per class.
+  const auto pieces = random_partition(graph, k, rng);
+  const PeelingVcCoreset coreset;
+
+  WeightedVcProtocolResult result;
+  result.weight_classes = static_cast<std::size_t>(num_classes);
+  result.comm.per_machine.resize(k);
+  std::vector<std::vector<VcCoresetOutput>> summaries(k);
+  std::vector<Rng> machine_rngs;
+  machine_rngs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
+
+  auto machine_work = [&](std::size_t i) {
+    summaries[i].reserve(static_cast<std::size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+      const EdgeList class_piece = pieces[i].filter(
+          [&](const Edge& e) { return edge_class(e) == c; });
+      PartitionContext ctx{n, k, i, 0};
+      summaries[i].push_back(coreset.build(class_piece, ctx, machine_rngs[i]));
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, k, machine_work);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) machine_work(i);
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const auto& s : summaries[i]) {
+      result.comm.per_machine[i].edges += s.residual_edges.num_edges();
+      result.comm.per_machine[i].vertices += s.fixed_vertices.size();
+    }
+  }
+
+  // 4. Coordinator: fixed union, then weighted local-ratio on the residual.
+  VertexCover cover(n);
+  EdgeList residual_union(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const auto& s : summaries[i]) {
+      for (VertexId v : s.fixed_vertices) cover.insert(v);
+      residual_union.append(s.residual_edges);
+    }
+  }
+  residual_union = residual_union.filter(
+      [&](const Edge& e) { return !cover.contains(e.u) && !cover.contains(e.v); });
+  const WeightedVcResult residual_cover =
+      local_ratio_weighted_vc(residual_union, weights);
+  cover.merge(residual_cover.cover);
+
+  result.cover = std::move(cover);
+  result.cover_cost = cover_weight(result.cover, weights);
+  return result;
+}
+
+}  // namespace rcc

@@ -1,0 +1,53 @@
+// Undirected edge primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// Undirected edge. Stored normalized (u <= v) by the factory below so that
+/// equality/hashing are orientation-independent.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+
+  bool is_loop() const { return u == v; }
+
+  /// Given one endpoint, returns the other. Precondition: w is an endpoint.
+  VertexId other(VertexId w) const {
+    RCC_DCHECK(w == u || w == v);
+    return w == u ? v : u;
+  }
+};
+
+/// Normalizing factory: returns {min(a,b), max(a,b)}.
+inline Edge make_edge(VertexId a, VertexId b) {
+  return a <= b ? Edge{a, b} : Edge{b, a};
+}
+
+/// Edge with a non-negative weight; used by the Crouch-Stubbs extension.
+struct WeightedEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  double weight = 0.0;
+
+  Edge edge() const { return make_edge(u, v); }
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const {
+    // Mix both 32-bit ids into one 64-bit word, then finalize (splitmix).
+    std::uint64_t x = (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace rcc

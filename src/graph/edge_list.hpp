@@ -1,0 +1,86 @@
+// EdgeList: the interchange format between generators, partitioners,
+// coresets, and solvers.
+//
+// A coreset in this paper *is* a subgraph (plus possibly fixed vertices), so
+// edge lists — not adjacency structures — are what machines exchange. The
+// CSR Graph is built from an EdgeList only where an algorithm needs
+// neighbor queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// num_vertices fixes the vertex universe [0, n); edges may only mention
+  /// ids below n (checked on insertion in debug builds).
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& operator[](std::size_t i) const { return edges_[i]; }
+
+  auto begin() const { return edges_.begin(); }
+  auto end() const { return edges_.end(); }
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Adds an edge (normalized). Self-loops are rejected: the matching and
+  /// vertex-cover problems are defined on simple graphs (parallel edges are
+  /// allowed and meaningful for the Remark 5.8 multigraph reduction).
+  void add(VertexId a, VertexId b);
+  void add(Edge e) { add(e.u, e.v); }
+
+  /// Appends all edges of another list over the same vertex universe.
+  void append(const EdgeList& other);
+
+  /// Degree of every vertex (parallel edges counted with multiplicity).
+  std::vector<VertexId> degrees() const;
+
+  /// Sorts edges lexicographically (useful for deterministic output).
+  void sort();
+
+  /// Removes parallel duplicates; sorts as a side effect.
+  void dedup();
+
+  /// True if some edge joins two distinct vertices more than once.
+  bool has_parallel_edges() const;
+
+  /// Keeps edges for which pred(e) is true.
+  template <typename Pred>
+  EdgeList filter(Pred pred) const {
+    EdgeList out(num_vertices_);
+    for (const Edge& e : edges_) {
+      if (pred(e)) out.add(e);
+    }
+    return out;
+  }
+
+  /// Uniform random subset of exactly min(k, m) edges.
+  EdgeList sample_edges(std::size_t k, Rng& rng) const;
+
+  /// Independent Bernoulli(p) subsample of the edges.
+  EdgeList subsample(double p, Rng& rng) const;
+
+  /// Union of several lists over a common vertex universe.
+  static EdgeList union_of(const std::vector<EdgeList>& parts);
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rcc

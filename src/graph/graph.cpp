@@ -1,0 +1,55 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace rcc {
+
+Graph::Graph(const EdgeList& edges, std::optional<Bipartition> bipartition)
+    : num_vertices_(edges.num_vertices()),
+      edge_count_(edges.num_edges()),
+      bipartition_(bipartition) {
+  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  adjacency_.resize(edge_count_ * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+}
+
+VertexId Graph::max_degree() const {
+  VertexId best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+EdgeList Graph::to_edge_list() const {
+  EdgeList out(num_vertices_);
+  out.reserve(edge_count_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId w : neighbors(v)) {
+      if (v < w) out.add(v, w);
+    }
+  }
+  // Parallel edges appear once per copy from the smaller endpoint; fine.
+  return out;
+}
+
+bool Graph::bipartition_consistent() const {
+  if (!bipartition_) return false;
+  const VertexId ls = bipartition_->left_size;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const bool v_left = v < ls;
+    for (VertexId w : neighbors(v)) {
+      if ((w < ls) == v_left) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rcc

@@ -1,0 +1,66 @@
+// Immutable CSR (compressed sparse row) graph with optional bipartition
+// metadata. Built once from an EdgeList; neighbor queries are contiguous
+// spans, which is what the matching/peeling kernels need.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// Bipartition metadata: vertices [0, left_size) form the left side L and
+/// [left_size, n) the right side R. Generators that produce bipartite graphs
+/// attach this; algorithms that require bipartiteness check for it.
+struct Bipartition {
+  VertexId left_size = 0;
+
+  bool is_left(VertexId v) const { return v < left_size; }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds CSR adjacency from the edge list. Parallel edges are preserved
+  /// (they matter for the multigraph reduction of Remark 5.8).
+  explicit Graph(const EdgeList& edges,
+                 std::optional<Bipartition> bipartition = std::nullopt);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edge_count_; }
+
+  /// Neighbors of v as a contiguous span (with multiplicity).
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  VertexId max_degree() const;
+
+  const std::optional<Bipartition>& bipartition() const { return bipartition_; }
+  bool is_bipartite_tagged() const { return bipartition_.has_value(); }
+
+  /// Re-derives the (deduplicated, sorted) edge list u <= v.
+  EdgeList to_edge_list() const;
+
+  /// Verifies the bipartition tag against the actual edges (no edge inside
+  /// one side). Used by tests and the generators' postconditions.
+  bool bipartition_consistent() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::size_t edge_count_ = 0;
+  std::vector<std::size_t> offsets_;   // size n+1
+  std::vector<VertexId> adjacency_;    // size 2m
+  std::optional<Bipartition> bipartition_;
+};
+
+}  // namespace rcc

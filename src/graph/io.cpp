@@ -1,0 +1,45 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+void write_edge_list(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  RCC_CHECK(out.good());
+  out << edges.num_vertices() << ' ' << edges.num_edges() << '\n';
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+  RCC_CHECK(out.good());
+}
+
+EdgeList read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  RCC_CHECK(in.good());
+  std::string line;
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  RCC_CHECK(next_data_line());
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  RCC_CHECK(static_cast<bool>(header >> n >> m));
+  EdgeList edges(static_cast<VertexId>(n));
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    RCC_CHECK(next_data_line());
+    std::istringstream row(line);
+    std::uint64_t u = 0, v = 0;
+    RCC_CHECK(static_cast<bool>(row >> u >> v));
+    edges.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return edges;
+}
+
+}  // namespace rcc

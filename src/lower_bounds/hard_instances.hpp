@@ -1,0 +1,65 @@
+// The paper's hard input distributions, with ground-truth labels retained
+// so experiments can measure exactly the quantities the lower-bound proofs
+// reason about.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+
+/// Distribution D_Matching (Sections 4.1 / 5.1).
+///
+/// Bipartite G(L, R, E), |L| = |R| = n:
+///   1. A subset of L and B subset of R, each of size n/alpha, uniform.
+///   2. E_AB: every pair in A x B independently w.p. k*alpha/n.
+///   3. E_hidden: a uniform perfect matching between L\A and R\B.
+///   4. E = E_AB u E_hidden.
+/// MM(G) >= n - n/alpha, but any matching larger than 2n/alpha must use
+/// E_hidden edges, which are locally indistinguishable from E_AB edges
+/// inside each machine's degree-1 "induced matching".
+struct DMatchingInstance {
+  VertexId n = 0;         // vertices per side; universe is [0, 2n)
+  double alpha = 0.0;
+  std::size_t k = 0;
+  EdgeList edges;         // the full graph
+  EdgeList hidden;        // E_hidden (the planted near-perfect matching)
+  std::vector<bool> in_A;  // indicator over [0, 2n): members of A
+  std::vector<bool> in_B;  // indicator over [0, 2n): members of B
+
+  VertexId left_size() const { return n; }
+  std::size_t planted_matching_size() const { return hidden.num_edges(); }
+  bool is_hidden_edge(const Edge& e) const;
+};
+
+DMatchingInstance make_d_matching(VertexId n, double alpha, std::size_t k,
+                                  Rng& rng);
+
+/// Distribution D_VC (Sections 4.2 / 5.3).
+///
+/// Bipartite G(L, R, E), |L| = |R| = n:
+///   1. A subset of L of size n/alpha, uniform.
+///   2. E_A: every pair in A x R independently w.p. k/2n.
+///   3. v* uniform in L \ A; e* = (v*, uniform vertex of R).
+///   4. E = E_A u {e*}.
+/// VC(G) <= n/alpha + 1 (take A and v*). Note: the paper's distribution box
+/// says v* in A, but the surrounding proofs ("pick A and v*", Section 1.2's
+/// "e* between L\L1 and R") require v* outside A; we implement v* in L \ A.
+struct DVcInstance {
+  VertexId n = 0;
+  double alpha = 0.0;
+  std::size_t k = 0;
+  EdgeList edges;
+  std::vector<bool> in_A;  // indicator over [0, 2n)
+  VertexId v_star = kInvalidVertex;
+  Edge e_star;
+
+  VertexId left_size() const { return n; }
+  std::size_t opt_upper_bound() const;  // |A| + 1
+};
+
+DVcInstance make_d_vc(VertexId n, double alpha, std::size_t k, Rng& rng);
+
+}  // namespace rcc

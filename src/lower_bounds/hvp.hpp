@@ -1,0 +1,48 @@
+// The Hidden Vertex Problem (HVP) — the two-player game behind Theorem 6.
+//
+// Section 1.2 / Problem 2: Alice and Bob hold sets S, T over a universe U,
+// each of size m, with the promise |S \ T| = 1. Alice sends one message;
+// Bob must output a set C containing the hidden element of S \ T, keeping
+// |C| = o(|U|). The paper proves (via a disjointness reduction, Lemma 5.7)
+// that any protocol succeeding with probability 2/3 needs Omega(m) bits.
+//
+// This module makes the game executable: an instance sampler and the
+// natural budget-b protocol (Alice sends b uniformly chosen elements of S;
+// Bob outputs the sent elements outside T, topped up with a fallback guess
+// from U \ T). Its success probability is b/m + (1 - b/m) * fallback/(|U|-m),
+// so constant success at sublinear output forces b = Omega(m) — the
+// Theorem 6 frontier, measured by bench EXP17.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+struct HvpInstance {
+  std::uint64_t universe = 0;      // |U|
+  std::vector<std::uint32_t> s;    // Alice's set, size m
+  std::vector<std::uint32_t> t;    // Bob's set, size m
+  std::uint32_t hidden = 0;        // the unique element of S \ T
+};
+
+/// Samples an instance: T uniform of size m; S = (m-1 uniform elements of T)
+/// plus one uniform element of U \ T. Requires m >= 1 and universe > m.
+HvpInstance make_hvp(std::uint64_t universe, std::size_t m, Rng& rng);
+
+struct HvpOutcome {
+  bool success = false;        // hidden element in Bob's output
+  std::size_t output_size = 0; // |C|
+  std::size_t message_words = 0;
+};
+
+/// Runs the budget-b protocol: Alice sends min(b, m) uniform elements of S;
+/// Bob outputs {sent} \ T plus, if that is empty, `fallback` uniform
+/// elements of U \ T.
+HvpOutcome run_budgeted_hvp(const HvpInstance& inst, std::size_t budget,
+                            std::size_t fallback, Rng& rng);
+
+}  // namespace rcc

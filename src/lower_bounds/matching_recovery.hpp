@@ -1,0 +1,55 @@
+// The MatchingRecovery game — the two-player core of Theorem 5 (Problem 1,
+// Section 5.1/5.2).
+//
+// Alice holds a perfect matching M_Alice of a bipartite graph H with t
+// vertices per side; the vertices are partitioned into c = floor(t/p)
+// blocks (P_1,Q_1)...(P_c,Q_c) of size p, matched block-to-block (the
+// reformulated distribution D_MR of Section 5.2, with the block structure
+// public). Bob owns one block (P, Q) and must output the M_Alice edges
+// between P and Q.
+//
+// Lemma 5.1: a protocol with s words of communication recovers only
+// O(s) * (alpha/k) edges in expectation — because Alice cannot tell which
+// block Bob owns, her s words describe at most O(s) matching edges, and
+// each lands in Bob's block w.p. 1/c = Theta(alpha/k). The budgeted
+// protocol below plays exactly that strategy, making the bound measurable
+// (bench EXP19).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+struct MatchingRecoveryInstance {
+  VertexId t = 0;  // vertices per side of H
+  VertexId p = 0;  // block size
+  std::size_t c = 0;  // number of blocks
+  /// alice_mate[i] = right-side partner of left vertex i (all in [0, t)).
+  std::vector<VertexId> alice_mate;
+  /// Bob's block index in [0, c): his P = lefts of that block.
+  std::size_t bob_block = 0;
+
+  std::size_t block_of_left(VertexId left) const { return left / p; }
+};
+
+/// Samples D_MR: a uniform bijection inside every block (left range
+/// [i*p, (i+1)*p) to the same right range), leftovers matched among
+/// themselves; Bob's block uniform.
+MatchingRecoveryInstance make_matching_recovery(VertexId t, VertexId p, Rng& rng);
+
+struct MatchingRecoveryOutcome {
+  std::size_t recovered_edges = 0;  // M_Alice edges inside Bob's block output
+  std::size_t message_words = 0;    // 2 words per sent edge
+};
+
+/// Budgeted protocol: Alice sends `budget_edges` uniformly chosen edges of
+/// her matching (she has no information about Bob's block); Bob keeps the
+/// ones inside his block.
+MatchingRecoveryOutcome run_budgeted_matching_recovery(
+    const MatchingRecoveryInstance& inst, std::size_t budget_edges, Rng& rng);
+
+}  // namespace rcc

@@ -1,0 +1,183 @@
+#include "matching/blossom.hpp"
+
+#include <vector>
+
+namespace rcc {
+
+namespace {
+
+/// Working state shared across augmentation searches.
+///
+/// The classical contraction algorithm resets O(n) state before every search;
+/// on sparse graphs with many isolated or quickly-settled vertices that makes
+/// the whole run quadratic. Instead we log every vertex a search modifies in
+/// `touched` and undo only those entries at the next search, so one search
+/// costs O(size of the explored component) (plus contraction work).
+struct BlossomState {
+  const Graph& g;
+  std::vector<VertexId> mate;
+  std::vector<VertexId> parent;  // alternating-tree parent (through blossoms)
+  std::vector<VertexId> base;    // blossom base of each vertex
+  std::vector<bool> used;        // in the alternating tree (even level)
+  std::vector<bool> in_blossom;  // scratch: bases inside the current blossom
+  std::vector<bool> on_path;     // scratch for lca()
+  std::vector<VertexId> queue;
+  std::vector<VertexId> touched;      // vertices whose search state is dirty
+  std::vector<VertexId> marked;       // in_blossom entries to clear
+  std::vector<VertexId> path_marked;  // on_path entries to clear
+
+  explicit BlossomState(const Graph& graph)
+      : g(graph),
+        mate(graph.num_vertices(), kInvalidVertex),
+        parent(graph.num_vertices(), kInvalidVertex),
+        base(graph.num_vertices(), 0),
+        used(graph.num_vertices(), false),
+        in_blossom(graph.num_vertices(), false),
+        on_path(graph.num_vertices(), false) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) base[v] = v;
+  }
+
+  void touch(VertexId v) { touched.push_back(v); }
+
+  void reset_search_state() {
+    for (VertexId v : touched) {
+      parent[v] = kInvalidVertex;
+      used[v] = false;
+      base[v] = v;
+    }
+    touched.clear();
+  }
+
+  /// Lowest common ancestor of the bases of a and b in the alternating tree.
+  VertexId lca(VertexId a, VertexId b) {
+    path_marked.clear();
+    VertexId x = a;
+    for (;;) {
+      x = base[x];
+      on_path[x] = true;
+      path_marked.push_back(x);
+      if (mate[x] == kInvalidVertex) break;  // reached the tree root
+      x = parent[mate[x]];
+    }
+    VertexId y = b;
+    for (;;) {
+      y = base[y];
+      if (on_path[y]) break;
+      y = parent[mate[y]];
+    }
+    for (VertexId v : path_marked) on_path[v] = false;
+    return y;
+  }
+
+  /// Marks blossom bases on the path from v up to base b; `child` is the
+  /// vertex on the other branch that v's tree edge should point to.
+  void mark_path(VertexId v, VertexId b, VertexId child) {
+    while (base[v] != b) {
+      if (!in_blossom[base[v]]) {
+        in_blossom[base[v]] = true;
+        marked.push_back(base[v]);
+      }
+      if (!in_blossom[base[mate[v]]]) {
+        in_blossom[base[mate[v]]] = true;
+        marked.push_back(base[mate[v]]);
+      }
+      parent[v] = child;
+      touch(v);
+      child = mate[v];
+      v = parent[mate[v]];
+    }
+  }
+
+  /// Grows an alternating tree from `root`; returns an exposed vertex ending
+  /// an augmenting path, or kInvalidVertex if none exists from this root.
+  VertexId find_path(VertexId root) {
+    reset_search_state();
+    used[root] = true;
+    touch(root);
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      for (VertexId to : g.neighbors(v)) {
+        if (base[v] == base[to] || mate[v] == to) continue;
+        if (to == root ||
+            (mate[to] != kInvalidVertex && parent[mate[to]] != kInvalidVertex)) {
+          // Odd cycle: contract the blossom rooted at lca(v, to). Only
+          // touched vertices can have a base inside the blossom (untouched
+          // vertices have base == self and are not tree bases), so the
+          // re-basing scan is confined to the touched set.
+          const VertexId cur_base = lca(v, to);
+          marked.clear();
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (std::size_t t = 0; t < touched.size(); ++t) {
+            const VertexId x = touched[t];
+            if (in_blossom[base[x]]) {
+              base[x] = cur_base;
+              if (!used[x]) {
+                used[x] = true;
+                queue.push_back(x);
+              }
+            }
+          }
+          for (VertexId x : marked) in_blossom[x] = false;
+        } else if (parent[to] == kInvalidVertex) {
+          parent[to] = v;
+          touch(to);
+          if (mate[to] == kInvalidVertex) {
+            return to;  // augmenting path root..to found
+          }
+          used[mate[to]] = true;
+          touch(mate[to]);
+          queue.push_back(mate[to]);
+        }
+      }
+    }
+    return kInvalidVertex;
+  }
+
+  /// Flips matched status along the augmenting path ending at v.
+  void augment(VertexId v) {
+    while (v != kInvalidVertex) {
+      const VertexId pv = parent[v];
+      const VertexId next = mate[pv];
+      mate[v] = pv;
+      mate[pv] = v;
+      v = next;
+    }
+  }
+};
+
+}  // namespace
+
+Matching blossom_maximum_matching(const Graph& g) {
+  BlossomState st(g);
+
+  // Greedy initialization: removes most augmentation phases on random graphs.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (st.mate[v] != kInvalidVertex) continue;
+    for (VertexId w : g.neighbors(v)) {
+      if (st.mate[w] == kInvalidVertex && w != v) {
+        st.mate[v] = w;
+        st.mate[w] = v;
+        break;
+      }
+    }
+  }
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (st.mate[v] != kInvalidVertex || g.degree(v) == 0) continue;
+    const VertexId end = st.find_path(v);
+    if (end != kInvalidVertex) st.augment(end);
+  }
+
+  Matching result(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (st.mate[v] != kInvalidVertex && v < st.mate[v]) {
+      result.match(v, st.mate[v]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rcc

@@ -1,0 +1,18 @@
+// Edmonds' blossom algorithm: maximum matching in general graphs.
+//
+// Theorem 1 holds for general (not just bipartite) graphs, so the library
+// needs a maximum matching routine without a bipartiteness assumption. This
+// is the classical O(V^3) contraction implementation with a greedy
+// initialization pass; suitable for the general-graph experiments (the
+// heavy bipartite sweeps go through Hopcroft-Karp instead).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace rcc {
+
+/// Maximum matching of an arbitrary simple graph.
+Matching blossom_maximum_matching(const Graph& g);
+
+}  // namespace rcc

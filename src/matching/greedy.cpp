@@ -1,0 +1,43 @@
+#include "matching/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rcc {
+
+namespace {
+Matching scan(const EdgeList& edges, const std::vector<std::size_t>& order) {
+  Matching m(edges.num_vertices());
+  for (std::size_t idx : order) {
+    const Edge& e = edges[idx];
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.match(e.u, e.v);
+  }
+  return m;
+}
+}  // namespace
+
+Matching greedy_maximal_matching(const EdgeList& edges, GreedyOrder order,
+                                 Rng& rng) {
+  std::vector<std::size_t> idx(edges.num_edges());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  if (order == GreedyOrder::kRandom) rng.shuffle(idx);
+  return scan(edges, idx);
+}
+
+Matching greedy_maximal_matching_by(
+    const EdgeList& edges, const std::function<double(const Edge&)>& key) {
+  std::vector<std::size_t> idx(edges.num_edges());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return key(edges[a]) < key(edges[b]);
+  });
+  return scan(edges, idx);
+}
+
+void greedy_extend(Matching& base, const EdgeList& extra) {
+  for (const Edge& e : extra) {
+    if (!base.is_matched(e.u) && !base.is_matched(e.v)) base.match(e.u, e.v);
+  }
+}
+
+}  // namespace rcc

@@ -1,0 +1,38 @@
+// Maximal matching by greedy edge scan, under pluggable edge orders.
+//
+// This is the "natural first idea" coreset that the paper shows fails
+// (Section 1.2: an arbitrary maximal matching per machine can be an
+// Omega(k)-approximation), so the order policies matter: GreedyOrder::kGiven
+// models a fixed scan, kRandom an oblivious one, and order_by lets the
+// experiments construct the adversarial order that realizes the Omega(k) gap.
+#pragma once
+
+#include <functional>
+
+#include "graph/edge_list.hpp"
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+
+enum class GreedyOrder {
+  kGiven,   // scan edges in input order
+  kRandom,  // uniformly random permutation of the edges
+};
+
+/// Maximal matching scanning edges in the requested order. `rng` is only
+/// consulted for kRandom.
+Matching greedy_maximal_matching(const EdgeList& edges, GreedyOrder order,
+                                 Rng& rng);
+
+/// Maximal matching scanning edges sorted by ascending key(e); ties keep
+/// input order (stable sort). This is the hook used to build adversarial
+/// maximal matchings (e.g. "hub edges first" in the EXP2 gadget).
+Matching greedy_maximal_matching_by(
+    const EdgeList& edges, const std::function<double(const Edge&)>& key);
+
+/// Greedily extends `base` with edges from `extra` that keep it a matching
+/// (the inner step of the paper's GreedyMatch combiner, Section 3.1).
+void greedy_extend(Matching& base, const EdgeList& extra);
+
+}  // namespace rcc

@@ -1,0 +1,80 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace rcc {
+
+namespace {
+constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+}
+
+Matching hopcroft_karp(const Graph& g) {
+  RCC_CHECK(g.is_bipartite_tagged());
+  const VertexId n = g.num_vertices();
+  const VertexId nL = g.bipartition()->left_size;
+
+  std::vector<VertexId> mate(n, kInvalidVertex);
+  std::vector<VertexId> dist(nL, kInf);
+  std::vector<VertexId> queue;
+  queue.reserve(nL);
+
+  // BFS layers from unmatched left vertices; returns true if some unmatched
+  // right vertex is reachable (i.e. an augmenting path exists).
+  auto bfs = [&]() -> bool {
+    queue.clear();
+    for (VertexId u = 0; u < nL; ++u) {
+      if (mate[u] == kInvalidVertex) {
+        dist[u] = 0;
+        queue.push_back(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    bool found = false;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      for (VertexId v : g.neighbors(u)) {
+        const VertexId next = mate[v];
+        if (next == kInvalidVertex) {
+          found = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[u] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along layered edges, flipping matched/unmatched status on success.
+  auto dfs = [&](auto&& self, VertexId u) -> bool {
+    for (VertexId v : g.neighbors(u)) {
+      const VertexId next = mate[v];
+      if (next == kInvalidVertex ||
+          (dist[next] == dist[u] + 1 && self(self, next))) {
+        mate[u] = v;
+        mate[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (VertexId u = 0; u < nL; ++u) {
+      if (mate[u] == kInvalidVertex) {
+        dfs(dfs, u);
+      }
+    }
+  }
+
+  Matching result(n);
+  for (VertexId u = 0; u < nL; ++u) {
+    if (mate[u] != kInvalidVertex) result.match(u, mate[u]);
+  }
+  return result;
+}
+
+}  // namespace rcc

@@ -1,0 +1,17 @@
+// Hopcroft-Karp maximum bipartite matching, O(m * sqrt(n)).
+//
+// This is the workhorse "any maximum matching algorithm" that machines run
+// on their pieces for Theorem 1 when instances are bipartite (which all of
+// the paper's hard distributions are).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace rcc {
+
+/// Maximum matching of a bipartition-tagged graph. Aborts if the graph has
+/// no bipartition tag (use maximum_matching() to dispatch automatically).
+Matching hopcroft_karp(const Graph& g);
+
+}  // namespace rcc

@@ -1,0 +1,65 @@
+#include "matching/matching.hpp"
+
+#include <unordered_set>
+
+namespace rcc {
+
+Matching Matching::from_edges(const EdgeList& edges) {
+  Matching m(edges.num_vertices());
+  for (const Edge& e : edges) m.match(e.u, e.v);
+  return m;
+}
+
+void Matching::match(VertexId u, VertexId v) {
+  RCC_CHECK(u != v);
+  RCC_CHECK(mate_[u] == kInvalidVertex && mate_[v] == kInvalidVertex);
+  mate_[u] = v;
+  mate_[v] = u;
+  ++size_;
+}
+
+void Matching::unmatch(VertexId v) {
+  const VertexId w = mate_[v];
+  if (w == kInvalidVertex) return;
+  mate_[v] = kInvalidVertex;
+  mate_[w] = kInvalidVertex;
+  --size_;
+}
+
+EdgeList Matching::to_edge_list() const {
+  EdgeList out(num_vertices());
+  out.reserve(size_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (mate_[v] != kInvalidVertex && v < mate_[v]) out.add(v, mate_[v]);
+  }
+  return out;
+}
+
+bool Matching::valid() const {
+  std::size_t matched = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const VertexId w = mate_[v];
+    if (w == kInvalidVertex) continue;
+    if (w >= num_vertices() || mate_[w] != v || w == v) return false;
+    ++matched;
+  }
+  return matched == 2 * size_;
+}
+
+bool Matching::subset_of(const EdgeList& graph_edges) const {
+  std::unordered_set<Edge, EdgeHash> present(graph_edges.begin(),
+                                             graph_edges.end());
+  for (const Edge& e : to_edge_list()) {
+    if (!present.count(e)) return false;
+  }
+  return true;
+}
+
+bool Matching::maximal_in(const EdgeList& graph_edges) const {
+  for (const Edge& e : graph_edges) {
+    if (!is_matched(e.u) && !is_matched(e.v)) return false;
+  }
+  return true;
+}
+
+}  // namespace rcc

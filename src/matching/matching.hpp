@@ -1,0 +1,56 @@
+// Matching value type with O(m) validation.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// A matching over a fixed vertex universe [0, n): a set of vertex-disjoint
+/// edges, stored both as the mate array (mate[v] == kInvalidVertex when v is
+/// unmatched) and implicitly recoverable as an edge list.
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(VertexId num_vertices)
+      : mate_(num_vertices, kInvalidVertex) {}
+
+  /// Builds from an edge list; aborts if the edges are not vertex-disjoint.
+  static Matching from_edges(const EdgeList& edges);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(mate_.size()); }
+
+  /// Number of matched edges.
+  std::size_t size() const { return size_; }
+
+  bool is_matched(VertexId v) const { return mate_[v] != kInvalidVertex; }
+  VertexId mate(VertexId v) const { return mate_[v]; }
+
+  /// Adds edge (u, v); both endpoints must currently be unmatched.
+  void match(VertexId u, VertexId v);
+
+  /// Removes the edge covering v (and its mate); no-op if v is unmatched.
+  void unmatch(VertexId v);
+
+  /// The matched edges as an EdgeList (each edge once, normalized).
+  EdgeList to_edge_list() const;
+
+  /// Internal consistency: mate is an involution and size_ agrees.
+  bool valid() const;
+
+  /// True if every matched edge actually exists in `graph_edges`
+  /// (set-membership check; used by tests to catch fabricated edges).
+  bool subset_of(const EdgeList& graph_edges) const;
+
+  /// True if no edge of `graph_edges` has both endpoints unmatched — i.e.
+  /// the matching is maximal in that graph.
+  bool maximal_in(const EdgeList& graph_edges) const;
+
+ private:
+  std::vector<VertexId> mate_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rcc

@@ -1,0 +1,24 @@
+#include "matching/max_matching.hpp"
+
+#include "matching/blossom.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace rcc {
+
+Matching maximum_matching(const Graph& g) {
+  if (g.is_bipartite_tagged()) return hopcroft_karp(g);
+  return blossom_maximum_matching(g);
+}
+
+Matching maximum_matching(const EdgeList& edges, VertexId left_size) {
+  if (left_size > 0) {
+    return hopcroft_karp(Graph(edges, Bipartition{left_size}));
+  }
+  return blossom_maximum_matching(Graph(edges));
+}
+
+std::size_t maximum_matching_size(const EdgeList& edges, VertexId left_size) {
+  return maximum_matching(edges, left_size).size();
+}
+
+}  // namespace rcc

@@ -1,0 +1,25 @@
+// Maximum matching dispatcher: the "ALG" of Theorem 1.
+//
+// Theorem 1 states that *any* maximum matching of a piece is a valid
+// coreset, independent of the algorithm computing it; this dispatcher picks
+// Hopcroft-Karp when a bipartition tag is available and Edmonds' blossom
+// otherwise, so callers never care which one ran.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace rcc {
+
+/// Maximum matching of g (HK if bipartite-tagged, blossom otherwise).
+Matching maximum_matching(const Graph& g);
+
+/// Convenience: builds the Graph internally. If `left_size` is nonzero the
+/// edge list is treated as bipartite with that boundary.
+Matching maximum_matching(const EdgeList& edges, VertexId left_size = 0);
+
+/// Maximum matching *size* only.
+std::size_t maximum_matching_size(const EdgeList& edges, VertexId left_size = 0);
+
+}  // namespace rcc

@@ -1,0 +1,57 @@
+// Weighted matching: the Crouch-Stubbs reduction the paper cites for its
+// weighted extension (Section 1.1), plus baselines.
+//
+// Crouch-Stubbs [22] buckets edges into geometric weight classes, solves an
+// *unweighted* matching problem inside each class, and greedily merges the
+// class matchings from heaviest to lightest. With classes [2^j, 2^{j+1})
+// this loses a factor at most 2 * (class rounding) relative to the optimum,
+// which is exactly the "factor 2 loss ... extra O(log n) term in space" the
+// paper quotes.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// Weighted graph as an edge list over [0, n).
+struct WeightedEdgeList {
+  VertexId num_vertices = 0;
+  std::vector<WeightedEdge> edges;
+
+  void add(VertexId u, VertexId v, double w) {
+    RCC_CHECK(u != v && u < num_vertices && v < num_vertices && w >= 0.0);
+    edges.push_back(WeightedEdge{u, v, w});
+  }
+};
+
+/// Total weight of a matching's edges under `weights` (edges must exist).
+double matching_weight(const Matching& m, const WeightedEdgeList& weights);
+
+/// Greedy heaviest-edge-first maximal matching: classical 1/2-approximation
+/// to the maximum weight matching. Used as a centralized baseline.
+Matching greedy_weighted_matching(const WeightedEdgeList& wedges);
+
+/// Splits edges into geometric weight classes: class j holds weights in
+/// [base^j, base^{j+1}) relative to the minimum positive weight. Returns the
+/// per-class unweighted edge lists, heaviest class first, plus class floors.
+struct WeightClasses {
+  std::vector<EdgeList> classes;       // heaviest first
+  std::vector<double> class_floor;     // lower weight bound per class
+};
+WeightClasses split_weight_classes(const WeightedEdgeList& wedges, double base = 2.0);
+
+/// Crouch-Stubbs: maximum matching per weight class, merged greedily from
+/// the heaviest class down. `left_size` > 0 enables the bipartite solver.
+Matching crouch_stubbs_matching(const WeightedEdgeList& wedges,
+                                VertexId left_size = 0, double base = 2.0);
+
+/// Exact maximum-weight matching by exhaustive search; for n <= ~20 only
+/// (tests use it as a ratio denominator).
+double exact_max_weight_matching(const WeightedEdgeList& wedges);
+
+}  // namespace rcc

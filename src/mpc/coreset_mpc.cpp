@@ -1,0 +1,110 @@
+#include "mpc/coreset_mpc.hpp"
+
+#include "coreset/compose.hpp"
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "partition/partition.hpp"
+
+namespace rcc {
+
+namespace {
+
+/// Shared round-1 logic: from an adversarial placement, every machine
+/// scatters its edges uniformly at random; the union of what machine j
+/// receives is then a random k-partitioning of G (each edge lands on a
+/// uniform machine independently, regardless of where it started).
+std::vector<EdgeList> reshuffle_round(const std::vector<EdgeList>& placed,
+                                      MpcLedger& ledger, Rng& rng) {
+  const std::size_t k = ledger.config().num_machines;
+  const VertexId n = placed.front().num_vertices();
+  ledger.begin_round("re-partition");
+  std::vector<EdgeList> received(k, EdgeList(n));
+  for (std::size_t src = 0; src < k; ++src) {
+    // Sender must hold its input this round.
+    ledger.charge(src, 2 * placed[src].num_edges());
+    for (const Edge& e : placed[src]) {
+      received[rng.next_below(k)].add(e);
+    }
+  }
+  for (std::size_t dst = 0; dst < k; ++dst) {
+    ledger.charge(dst, 2 * received[dst].num_edges());
+  }
+  return received;
+}
+
+}  // namespace
+
+CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
+                                              const MpcConfig& config,
+                                              bool input_already_random,
+                                              VertexId left_size, Rng& rng) {
+  MpcLedger ledger(config);
+  const std::size_t k = config.num_machines;
+  const VertexId n = graph.num_vertices();
+
+  std::vector<EdgeList> pieces;
+  if (input_already_random) {
+    pieces = random_partition(graph, k, rng);
+  } else {
+    pieces = reshuffle_round(initial_adversarial_placement(graph, k), ledger, rng);
+  }
+
+  // Coreset round: every machine sends its maximum matching to machine 0.
+  ledger.begin_round("coreset-and-collect");
+  const MaximumMatchingCoreset coreset;
+  std::vector<EdgeList> summaries;
+  summaries.reserve(k);
+  std::uint64_t collected_words = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    ledger.charge(i, 2 * pieces[i].num_edges());
+    PartitionContext ctx{n, k, i, left_size};
+    summaries.push_back(coreset.build(pieces[i], ctx, rng));
+    collected_words += 2 * summaries.back().num_edges();
+  }
+  ledger.charge(0, collected_words);  // machine M stores all k coresets
+
+  CoresetMpcMatchingResult result;
+  result.matching = compose_matching_coresets(summaries, ComposeSolver::kMaximum,
+                                              left_size, rng);
+  result.rounds = ledger.rounds();
+  result.max_memory_words = ledger.max_memory_words();
+  return result;
+}
+
+CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
+                                            const MpcConfig& config,
+                                            bool input_already_random,
+                                            Rng& rng) {
+  MpcLedger ledger(config);
+  const std::size_t k = config.num_machines;
+  const VertexId n = graph.num_vertices();
+
+  std::vector<EdgeList> pieces;
+  if (input_already_random) {
+    pieces = random_partition(graph, k, rng);
+  } else {
+    pieces = reshuffle_round(initial_adversarial_placement(graph, k), ledger, rng);
+  }
+
+  ledger.begin_round("coreset-and-collect");
+  const PeelingVcCoreset coreset;
+  std::vector<VcCoresetOutput> summaries;
+  summaries.reserve(k);
+  std::uint64_t collected_words = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    ledger.charge(i, 2 * pieces[i].num_edges());
+    PartitionContext ctx{n, k, i, 0};
+    summaries.push_back(coreset.build(pieces[i], ctx, rng));
+    collected_words += 2 * summaries.back().residual_edges.num_edges() +
+                       summaries.back().fixed_vertices.size();
+  }
+  ledger.charge(0, collected_words);
+
+  CoresetMpcVcResult result;
+  result.cover = compose_vc_coresets(summaries, n, rng);
+  result.rounds = ledger.rounds();
+  result.max_memory_words = ledger.max_memory_words();
+  return result;
+}
+
+}  // namespace rcc

@@ -1,0 +1,43 @@
+// The paper's MapReduce algorithm (Section 1.1, "MapReduce Framework"):
+//
+//   Round 1: every machine re-partitions its locally held edges uniformly at
+//            random across all k machines => the shuffle delivers a random
+//            k-partitioning of G.
+//   Round 2: every machine computes its randomized composable coreset and
+//            sends it to the designated machine M, which solves the union.
+//
+// If the input is random-partitioned to begin with, Round 1 is skipped and
+// the whole computation takes a single round.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "mpc/mpc.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+struct CoresetMpcMatchingResult {
+  Matching matching;
+  std::size_t rounds = 0;
+  std::uint64_t max_memory_words = 0;
+};
+
+struct CoresetMpcVcResult {
+  VertexCover cover;
+  std::size_t rounds = 0;
+  std::uint64_t max_memory_words = 0;
+};
+
+/// O(1)-approximate maximum matching in <= 2 MPC rounds. `left_size` > 0
+/// enables the exact bipartite solver on machine M.
+CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
+                                              const MpcConfig& config,
+                                              bool input_already_random,
+                                              VertexId left_size, Rng& rng);
+
+/// O(log n)-approximate vertex cover in <= 2 MPC rounds.
+CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
+                                            const MpcConfig& config,
+                                            bool input_already_random, Rng& rng);
+
+}  // namespace rcc

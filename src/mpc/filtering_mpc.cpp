@@ -1,0 +1,62 @@
+#include "mpc/filtering_mpc.hpp"
+
+#include <algorithm>
+
+#include "matching/greedy.hpp"
+
+namespace rcc {
+
+FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
+                                 Rng& rng) {
+  MpcLedger ledger(config);
+  const VertexId n = graph.num_vertices();
+  const std::uint64_t memory_edges = config.memory_words / 2;
+  RCC_CHECK(memory_edges > 0);
+
+  FilteringMpcResult result;
+  Matching m(n);
+  EdgeList active = graph;
+
+  while (active.num_edges() > memory_edges) {
+    ++result.filter_iterations;
+    // Sample-and-match round: expected sample of memory_edges/2 edges lands
+    // on the central machine (machine 0), leaving room for slack.
+    const double p = static_cast<double>(memory_edges) /
+                     (2.0 * static_cast<double>(active.num_edges()));
+    ledger.begin_round("sample-and-match");
+    const EdgeList sample = active.subsample(p, rng);
+    ledger.charge(0, 2 * sample.num_edges());
+    greedy_extend(m, sample);  // maximal matching of the sample, merged
+
+    // Filter round: matched vertices are broadcast; machines drop covered
+    // edges. Broadcast cost: |V(M)| words on every machine; the residency of
+    // each machine's shard is charged too.
+    ledger.begin_round("broadcast-and-filter");
+    active = active.filter(
+        [&](const Edge& e) { return !m.is_matched(e.u) && !m.is_matched(e.v); });
+    const std::uint64_t shard =
+        (2 * active.num_edges()) / config.num_machines + 2;
+    for (std::size_t i = 0; i < config.num_machines; ++i) {
+      ledger.charge(i, shard + 2 * m.size());
+    }
+  }
+
+  // Finish round: residual fits in one machine; complete the matching there.
+  ledger.begin_round("finish");
+  ledger.charge(0, 2 * active.num_edges());
+  greedy_extend(m, active);
+
+  RCC_CHECK(m.maximal_in(graph));
+  result.cover = VertexCover(n);
+  for (const Edge& e : m.to_edge_list()) {
+    result.cover.insert(e.u);
+    result.cover.insert(e.v);
+  }
+  RCC_CHECK(result.cover.covers(graph));
+  result.maximal_matching = std::move(m);
+  result.rounds = ledger.rounds();
+  result.max_memory_words = ledger.max_memory_words();
+  return result;
+}
+
+}  // namespace rcc

@@ -1,0 +1,37 @@
+// The filtering MapReduce algorithm of Lattanzi, Moseley, Suri,
+// Vassilvitskii, "Filtering: a method for solving graph problems in
+// MapReduce" (SPAA 2011) — the baseline this paper's Section 1.1 compares
+// round counts against.
+//
+// Maximal matching by filtering:
+//   while the active edge set exceeds one machine's memory:
+//     (round) sample edges at rate memory/(2|E|) onto a central machine,
+//             compute a maximal matching there, merge it into M;
+//     (round) broadcast M; every machine drops local edges touching M.
+//   (round) ship the residual edges to the central machine, finish the
+//           maximal matching there.
+//
+// The final M is maximal on G, hence a 2-approximate maximum matching, and
+// V(M) is a 2-approximate vertex cover. With memory n^{1+eps} the loop runs
+// O(1/eps) times w.h.p.; at the paper's O~(n sqrt(n)) memory this comes to
+// ~3 iterations = ~6 rounds, versus 2 rounds for the coreset algorithm.
+#pragma once
+
+#include "matching/matching.hpp"
+#include "mpc/mpc.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+struct FilteringMpcResult {
+  Matching maximal_matching;  // maximal on G: 2-approx matching
+  VertexCover cover;          // V(M): 2-approx vertex cover
+  std::size_t rounds = 0;
+  std::size_t filter_iterations = 0;
+  std::uint64_t max_memory_words = 0;
+};
+
+FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
+                                 Rng& rng);
+
+}  // namespace rcc

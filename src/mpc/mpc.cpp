@@ -1,0 +1,37 @@
+#include "mpc/mpc.hpp"
+
+#include <cmath>
+
+#include "partition/partition.hpp"
+
+namespace rcc {
+
+MpcConfig MpcConfig::paper_default(VertexId n, double c) {
+  MpcConfig cfg;
+  cfg.num_machines = static_cast<std::size_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  cfg.memory_words = static_cast<std::uint64_t>(
+      c * static_cast<double>(n) * std::sqrt(static_cast<double>(n)) *
+      std::log2(std::max<double>(n, 2.0)));
+  return cfg;
+}
+
+void MpcLedger::begin_round(const std::string& label) {
+  round_labels_.push_back(label);
+  current_round_usage_.assign(config_.num_machines, 0);
+}
+
+void MpcLedger::charge(std::size_t machine, std::uint64_t words) {
+  RCC_CHECK(machine < config_.num_machines);
+  RCC_CHECK(!round_labels_.empty());
+  current_round_usage_[machine] += words;
+  RCC_CHECK(current_round_usage_[machine] <= config_.memory_words);
+  max_memory_words_ = std::max(max_memory_words_, current_round_usage_[machine]);
+}
+
+std::vector<EdgeList> initial_adversarial_placement(const EdgeList& graph,
+                                                    std::size_t num_machines) {
+  return sorted_chunk_partition(graph, num_machines);
+}
+
+}  // namespace rcc

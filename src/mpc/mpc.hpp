@@ -1,0 +1,63 @@
+// MapReduce / MPC computation model of Karloff-Suri-Vassilvitskii [42] as
+// used by Lattanzi et al. [46] and by this paper's Section 1.1 application.
+//
+// The simulator tracks the two resources the model constrains:
+//   * rounds   — number of map/shuffle/reduce super-steps;
+//   * memory   — the maximum number of words resident on any single machine
+//                in any round (edges cost 2 words, vertex ids 1).
+// Machine computation is free in the model, so the simulator executes
+// reducers directly; what it *enforces* is the memory cap: any round that
+// would overfill a machine aborts the run (RCC_CHECK), exactly the
+// constraint that forces multi-round algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+struct MpcConfig {
+  std::size_t num_machines = 0;
+  std::uint64_t memory_words = 0;  // per-machine cap
+
+  /// The paper's parameterization: k = sqrt(n) machines with O~(n sqrt(n))
+  /// memory each (c is the hidden constant; log factor included).
+  static MpcConfig paper_default(VertexId n, double c = 4.0);
+};
+
+/// Resource ledger of one MPC execution.
+class MpcLedger {
+ public:
+  explicit MpcLedger(MpcConfig config) : config_(config) {}
+
+  const MpcConfig& config() const { return config_; }
+
+  /// Declares a new round; per-machine residency resets.
+  void begin_round(const std::string& label);
+
+  /// Records `words` resident on `machine` this round; aborts if the cap is
+  /// exceeded (the algorithm does not fit the model).
+  void charge(std::size_t machine, std::uint64_t words);
+
+  std::size_t rounds() const { return round_labels_.size(); }
+  std::uint64_t max_memory_words() const { return max_memory_words_; }
+  const std::vector<std::string>& round_labels() const { return round_labels_; }
+
+ private:
+  MpcConfig config_;
+  std::vector<std::string> round_labels_;
+  std::vector<std::uint64_t> current_round_usage_;
+  std::uint64_t max_memory_words_ = 0;
+};
+
+/// Splits edges across machines to model an arbitrary (adversarial) initial
+/// placement: contiguous chunks, the worst case for locality.
+std::vector<EdgeList> initial_adversarial_placement(const EdgeList& graph,
+                                                    std::size_t num_machines);
+
+}  // namespace rcc

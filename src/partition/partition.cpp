@@ -1,0 +1,82 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+namespace rcc {
+
+std::vector<EdgeList> random_partition(const EdgeList& edges, std::size_t k,
+                                       Rng& rng) {
+  RCC_CHECK(k >= 1);
+  std::vector<EdgeList> parts(k, EdgeList(edges.num_vertices()));
+  const std::size_t expected = edges.num_edges() / k + 1;
+  for (auto& p : parts) p.reserve(expected + expected / 2);
+  for (const Edge& e : edges) {
+    parts[rng.next_below(k)].add(e);
+  }
+  return parts;
+}
+
+std::vector<WeightedEdgeList> random_partition_weighted(
+    const WeightedEdgeList& edges, std::size_t k, Rng& rng) {
+  RCC_CHECK(k >= 1);
+  std::vector<WeightedEdgeList> parts(k);
+  for (auto& p : parts) p.num_vertices = edges.num_vertices;
+  for (const WeightedEdge& e : edges.edges) {
+    parts[rng.next_below(k)].edges.push_back(e);
+  }
+  return parts;
+}
+
+std::vector<EdgeList> sorted_chunk_partition(const EdgeList& edges,
+                                             std::size_t k) {
+  RCC_CHECK(k >= 1);
+  EdgeList sorted = edges;
+  sorted.sort();
+  std::vector<EdgeList> parts(k, EdgeList(edges.num_vertices()));
+  const std::size_t m = sorted.num_edges();
+  for (std::size_t i = 0; i < m; ++i) {
+    parts[std::min(k - 1, i * k / std::max<std::size_t>(m, 1))].add(sorted[i]);
+  }
+  return parts;
+}
+
+std::vector<EdgeList> by_vertex_partition(const EdgeList& edges, std::size_t k) {
+  RCC_CHECK(k >= 1);
+  std::vector<EdgeList> parts(k, EdgeList(edges.num_vertices()));
+  for (const Edge& e : edges) {
+    parts[e.u % k].add(e);
+  }
+  return parts;
+}
+
+std::vector<EdgeList> random_vertex_partition(const EdgeList& edges,
+                                              std::size_t k, Rng& rng) {
+  RCC_CHECK(k >= 1);
+  const VertexId n = edges.num_vertices();
+  std::vector<std::uint32_t> owner(n);
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v] = static_cast<std::uint32_t>(rng.next_below(k));
+  }
+  std::vector<EdgeList> parts(k, EdgeList(n));
+  for (const Edge& e : edges) {
+    parts[owner[e.u]].add(e);
+    if (owner[e.v] != owner[e.u]) parts[owner[e.v]].add(e);
+  }
+  return parts;
+}
+
+PartitionStats partition_stats(const std::vector<EdgeList>& parts) {
+  PartitionStats s;
+  RCC_CHECK(!parts.empty());
+  s.min_edges = parts.front().num_edges();
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    s.min_edges = std::min(s.min_edges, p.num_edges());
+    s.max_edges = std::max(s.max_edges, p.num_edges());
+    total += p.num_edges();
+  }
+  s.mean_edges = static_cast<double>(total) / static_cast<double>(parts.size());
+  return s;
+}
+
+}  // namespace rcc

@@ -1,0 +1,59 @@
+#include "streaming/streaming_matching.hpp"
+
+#include <cmath>
+
+namespace rcc {
+
+StreamingWeightedMatching::StreamingWeightedMatching(VertexId num_vertices,
+                                                     double class_base)
+    : num_vertices_(num_vertices), class_base_(class_base) {
+  RCC_CHECK(class_base > 1.0);
+}
+
+int StreamingWeightedMatching::class_of(double weight) const {
+  RCC_DCHECK(weight > 0.0 && wmin_seen_ > 0.0);
+  return static_cast<int>(
+      std::floor(std::log(weight / wmin_seen_) / std::log(class_base_)));
+}
+
+void StreamingWeightedMatching::offer(VertexId u, VertexId v, double weight) {
+  RCC_CHECK(u != v && u < num_vertices_ && v < num_vertices_);
+  if (weight <= 0.0) return;
+  // First positive weight anchors the class grid. A true streaming setting
+  // would re-anchor on smaller weights; for simplicity we clamp lighter
+  // edges into class 0 (costing at most one extra class of rounding).
+  if (wmin_seen_ == 0.0) wmin_seen_ = weight;
+  const int cls = std::max(0, class_of(std::max(weight, wmin_seen_)));
+  if (static_cast<std::size_t>(cls) >= classes_.size()) {
+    classes_.resize(static_cast<std::size_t>(cls) + 1);
+  }
+  auto& state = classes_[static_cast<std::size_t>(cls)];
+  if (state.matching.num_vertices() == 0) {
+    state.matching = Matching(num_vertices_);
+  }
+  if (!state.matching.is_matched(u) && !state.matching.is_matched(v)) {
+    state.matching.match(u, v);
+    state.edges.push_back(WeightedEdge{u, v, weight});
+  }
+}
+
+Matching StreamingWeightedMatching::finalize() const {
+  Matching merged(num_vertices_);
+  // Heaviest class first (classes_ is lightest-first).
+  for (auto it = classes_.rbegin(); it != classes_.rend(); ++it) {
+    for (const WeightedEdge& we : it->edges) {
+      if (!merged.is_matched(we.u) && !merged.is_matched(we.v)) {
+        merged.match(we.u, we.v);
+      }
+    }
+  }
+  return merged;
+}
+
+std::size_t StreamingWeightedMatching::state_edges() const {
+  std::size_t total = 0;
+  for (const auto& c : classes_) total += c.edges.size();
+  return total;
+}
+
+}  // namespace rcc

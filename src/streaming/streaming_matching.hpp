@@ -1,0 +1,83 @@
+// Semi-streaming matching: the single-machine counterpart of the coresets.
+//
+// Section 1 places the O~(n) coreset size at the graph-streaming "sweet
+// spot", and the weighted extension comes from Crouch-Stubbs's streaming
+// technique [22]. This module provides the streaming algorithms themselves:
+//
+//  * StreamingMaximalMatching — one pass, O(n) words, 2-approximation.
+//  * StreamingWeightedMatching — Crouch-Stubbs: one pass, O(n log W) words;
+//    a greedy maximal matching per geometric weight class, merged
+//    heaviest-class-first at query time. This is exactly the machinery the
+//    paper's weighted coreset reuses per machine.
+//
+// Both consume edges one at a time (any order); the random-arrival analyses
+// the paper cites [38, 44] can be exercised by feeding shuffled streams.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "matching/matching.hpp"
+#include "matching/weighted.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// One-pass greedy maximal matching over an edge stream.
+class StreamingMaximalMatching {
+ public:
+  explicit StreamingMaximalMatching(VertexId num_vertices)
+      : matching_(num_vertices) {}
+
+  /// Processes one stream element; returns true if the edge was taken.
+  bool offer(VertexId u, VertexId v) {
+    if (matching_.is_matched(u) || matching_.is_matched(v) || u == v) {
+      return false;
+    }
+    matching_.match(u, v);
+    return true;
+  }
+
+  const Matching& matching() const { return matching_; }
+
+  /// Words of state: one mate entry per matched vertex.
+  std::size_t state_words() const { return 2 * matching_.size(); }
+
+ private:
+  Matching matching_;
+};
+
+/// One-pass Crouch-Stubbs weighted matching: maintains a greedy maximal
+/// matching inside every geometric weight class.
+class StreamingWeightedMatching {
+ public:
+  /// `class_base` > 1 controls the geometric bucketing (2.0 = octaves).
+  StreamingWeightedMatching(VertexId num_vertices, double class_base = 2.0);
+
+  /// Processes one weighted stream element.
+  void offer(VertexId u, VertexId v, double weight);
+
+  /// Merges the class matchings heaviest-first into one matching.
+  Matching finalize() const;
+
+  /// Total edges retained across all classes (the space bound O(n log W)).
+  std::size_t state_edges() const;
+
+  std::size_t num_classes() const { return classes_.size(); }
+
+ private:
+  struct ClassState {
+    Matching matching;
+    std::vector<WeightedEdge> edges;  // the matched edges with weights
+  };
+
+  int class_of(double weight) const;
+
+  VertexId num_vertices_;
+  double class_base_;
+  double wmin_seen_ = 0.0;
+  // classes_[j] holds the matching for weight class floor+j; grows lazily.
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,55 @@
+// Disjoint-set union (union-find) with union by size and path compression.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+class Dsu {
+ public:
+  explicit Dsu(VertexId n) : parent_(n), size_(n, 1) {
+    for (VertexId v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  VertexId find(VertexId v) {
+    VertexId root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      const VertexId next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool same(VertexId a, VertexId b) { return find(a) == find(b); }
+
+  VertexId component_size(VertexId v) { return size_[find(v)]; }
+
+  std::size_t num_components() {
+    std::size_t count = 0;
+    for (VertexId v = 0; v < parent_.size(); ++v) {
+      if (find(v) == v) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,24 @@
+// Minimal leveled logging. Experiments log at Info; library internals at
+// Debug; nothing logs from hot loops.
+#pragma once
+
+#include <string>
+
+namespace rcc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level tag.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define RCC_LOG_DEBUG(...) ::rcc::log_message(::rcc::LogLevel::kDebug, __VA_ARGS__)
+#define RCC_LOG_INFO(...) ::rcc::log_message(::rcc::LogLevel::kInfo, __VA_ARGS__)
+#define RCC_LOG_WARN(...) ::rcc::log_message(::rcc::LogLevel::kWarn, __VA_ARGS__)
+#define RCC_LOG_ERROR(...) ::rcc::log_message(::rcc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rcc

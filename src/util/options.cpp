@@ -1,0 +1,78 @@
+#include "util/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+Options::Options(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Options& Options::flag(const std::string& name, const std::string& default_value,
+                       const std::string& help) {
+  RCC_CHECK(!flags_.count(name));
+  flags_[name] = Flag{default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+void Options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n\nFlags:\n", description_.c_str());
+      for (const auto& name : order_) {
+        const auto& f = flags_.at(name);
+        std::printf("  --%-16s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                    f.value.c_str());
+      }
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+      std::exit(2);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+      std::exit(2);
+    }
+    it->second.value = value;
+  }
+}
+
+std::string Options::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  RCC_CHECK(it != flags_.end());
+  return it->second.value;
+}
+
+std::int64_t Options::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace rcc

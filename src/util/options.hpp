@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Syntax: --name=value or --name value; --help prints registered flags.
+// Unknown flags abort (typos in experiment parameters must not silently run
+// the wrong configuration).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcc {
+
+class Options {
+ public:
+  Options(std::string program_description);
+
+  /// Registers a flag with a default; returns *this for chaining.
+  Options& flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv; aborts on unknown flags; exits(0) after printing --help.
+  void parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace rcc

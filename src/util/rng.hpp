@@ -1,0 +1,96 @@
+// Deterministic, fast pseudo-random generation for reproducible experiments.
+//
+// Every randomized component in the library takes an explicit Rng&; nothing
+// reads global entropy. Two instances seeded identically produce identical
+// experiment tables on any platform (the generator is fully specified, unlike
+// std::mt19937 + distribution objects whose output is implementation-defined
+// for some distributions).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// SplitMix64: used to expand a single user seed into generator state.
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators." OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ PRNG (Blackman & Vigna). Passes BigCrush; 2^256-1 period;
+/// ~1 ns per draw. Satisfies UniformRandomBitGenerator so it can be handed
+/// to std::shuffle if ever needed, but the member helpers below are the
+/// supported (deterministic) API.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Uses Lemire's nearly-divisionless method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric skip: number of failures before the first success of a
+  /// Bernoulli(p) sequence. Used by the G(n,p) generators to run in
+  /// O(expected edges) instead of O(n^2).
+  std::uint64_t geometric_skip(double p);
+
+  /// Fisher-Yates shuffle of a whole vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, universe) in O(k) expected
+  /// time (Floyd's algorithm). Returned in unspecified order.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t universe, std::uint64_t k);
+
+  /// Forks an independent stream: deterministic function of this generator's
+  /// next outputs, suitable for seeding per-machine RNGs in parallel runs.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rcc

@@ -1,0 +1,54 @@
+// Streaming and batch statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rcc {
+
+/// Numerically stable single-pass mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary of a sample: order statistics plus moments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  /// "mean ± stddev [min, max]" rendering for experiment logs.
+  std::string str(int precision = 3) const;
+};
+
+/// Computes a Summary; copies and sorts the input internally.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation percentile of a pre-sorted sample, q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace rcc

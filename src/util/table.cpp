@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/types.hpp"
+
+namespace rcc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RCC_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RCC_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  emit_row(headers_);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TablePrinter::print() const {
+  // RCC_TABLE_FORMAT=csv switches every bench table to machine-readable
+  // output without touching the bench binaries.
+  const char* format = std::getenv("RCC_TABLE_FORMAT");
+  if (format != nullptr && std::string(format) == "csv") {
+    std::fputs(csv().c_str(), stdout);
+    return;
+  }
+  std::fputs(str().c_str(), stdout);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::fmt_ratio(double v) { return fmt(v, 3); }
+
+}  // namespace rcc

@@ -1,0 +1,42 @@
+// Fixed-width ASCII table rendering for paper-style experiment output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcc {
+
+/// Collects rows of strings and prints them with aligned columns. All bench
+/// binaries in this repo emit their "paper table" through this class so the
+/// outputs share one format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string str() const;
+
+  /// Renders as RFC-4180-ish CSV (quoted cells where needed).
+  std::string csv() const;
+
+  /// Prints to stdout; honors RCC_TABLE_FORMAT=csv in the environment.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt_ratio(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rcc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t workers = pool.size();
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t per_chunk = (count + chunks - 1) / chunks;
+  std::atomic<std::size_t> next{0};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.submit([&fn, &next, count, per_chunk] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(per_chunk);
+        if (begin >= count) return;
+        const std::size_t end = std::min(begin + per_chunk, count);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool;
+  parallel_for(pool, count, fn);
+}
+
+}  // namespace rcc

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// The simultaneous-communication and MPC simulators use one logical task per
+// simulated machine; the pool multiplexes those onto hardware threads so the
+// "machines compute their summaries simultaneously" semantics of the paper
+// maps onto actual parallel execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rcc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (the library reports errors via
+  /// RCC_CHECK aborts, matching the no-exceptions-across-boundaries rule).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool, blocking until done.
+/// Work is chunked so tiny iterations do not drown in queue overhead.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: runs fn(i) on a transient pool sized to hardware threads.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace rcc

@@ -1,0 +1,19 @@
+// Classical vertex cover approximations: the coordinator in the paper's
+// protocols runs the 2-approximation on the union of coresets.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+/// 2-approximation: both endpoints of a maximal matching. The maximal
+/// matching is computed by a random-order greedy scan driven by `rng`.
+VertexCover vc_two_approximation(const EdgeList& edges, Rng& rng);
+
+/// Greedy max-degree heuristic (ln n approximation): repeatedly take the
+/// highest-residual-degree vertex. O(m log n) via a degree bucket queue.
+VertexCover vc_greedy_max_degree(const EdgeList& edges);
+
+}  // namespace rcc

@@ -1,0 +1,121 @@
+#include "vertex_cover/exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rcc {
+
+namespace {
+
+/// Mutable adjacency for branch and bound; vertices are removed by clearing
+/// their lists symmetrically.
+struct BnB {
+  std::vector<std::vector<VertexId>> adj;
+  std::size_t best;
+
+  explicit BnB(const EdgeList& edges)
+      : adj(edges.num_vertices()), best(edges.num_vertices()) {
+    for (const Edge& e : edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+    for (auto& a : adj) {
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+  }
+
+  std::vector<VertexId> remove_vertex(VertexId v) {
+    std::vector<VertexId> removed_neighbors = adj[v];
+    for (VertexId w : removed_neighbors) {
+      auto& aw = adj[w];
+      aw.erase(std::find(aw.begin(), aw.end(), v));
+    }
+    adj[v].clear();
+    return removed_neighbors;
+  }
+
+  void restore_vertex(VertexId v, std::vector<VertexId> neighbors) {
+    for (VertexId w : neighbors) adj[w].push_back(v);
+    adj[v] = std::move(neighbors);
+  }
+
+  /// Lower bound: greedy edge-disjoint matching size (each matched edge
+  /// forces one cover vertex).
+  std::size_t lower_bound() const {
+    std::vector<bool> used(adj.size(), false);
+    std::size_t lb = 0;
+    for (VertexId v = 0; v < adj.size(); ++v) {
+      if (used[v]) continue;
+      for (VertexId w : adj[v]) {
+        if (!used[w]) {
+          used[v] = used[w] = true;
+          ++lb;
+          break;
+        }
+      }
+    }
+    return lb;
+  }
+
+  void solve(std::size_t chosen) {
+    if (chosen + lower_bound() >= best) return;
+
+    // Degree-1 rule: if v has exactly one neighbor w, taking w is optimal.
+    for (VertexId v = 0; v < adj.size(); ++v) {
+      if (adj[v].size() == 1) {
+        const VertexId w = adj[v][0];
+        auto saved = remove_vertex(w);
+        solve(chosen + 1);
+        restore_vertex(w, std::move(saved));
+        return;
+      }
+    }
+
+    // Pick the max-degree vertex v; branch on "v in cover" vs "all of N(v)".
+    VertexId pivot = kInvalidVertex;
+    std::size_t max_deg = 0;
+    for (VertexId v = 0; v < adj.size(); ++v) {
+      if (adj[v].size() > max_deg) {
+        max_deg = adj[v].size();
+        pivot = v;
+      }
+    }
+    if (pivot == kInvalidVertex) {  // no edges left
+      best = std::min(best, chosen);
+      return;
+    }
+
+    {
+      auto saved = remove_vertex(pivot);
+      solve(chosen + 1);
+      restore_vertex(pivot, std::move(saved));
+    }
+    {
+      // Exclude pivot: every neighbor must join the cover.
+      std::vector<VertexId> neighbors = adj[pivot];
+      std::vector<std::pair<VertexId, std::vector<VertexId>>> saved;
+      saved.reserve(neighbors.size());
+      for (VertexId w : neighbors) {
+        saved.emplace_back(w, remove_vertex(w));
+      }
+      solve(chosen + neighbors.size());
+      for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        restore_vertex(it->first, std::move(it->second));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t exact_min_vertex_cover_size(const EdgeList& edges) {
+  if (edges.empty()) return 0;
+  EdgeList simple = edges;
+  simple.dedup();
+  BnB solver(simple);
+  solver.solve(0);
+  return solver.best;
+}
+
+}  // namespace rcc

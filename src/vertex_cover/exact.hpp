@@ -1,0 +1,16 @@
+// Exact minimum vertex cover for small general graphs via branch and bound.
+//
+// Used by tests and small-scale experiments as a ratio denominator where the
+// instance is not bipartite. Exponential worst case; callers keep n small.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+/// Size of a minimum vertex cover. Intended for graphs with <= ~40 vertices
+/// or very sparse larger ones (degree-1 kernelization handles forests fast).
+std::size_t exact_min_vertex_cover_size(const EdgeList& edges);
+
+}  // namespace rcc

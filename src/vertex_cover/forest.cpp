@@ -1,0 +1,70 @@
+#include "vertex_cover/forest.hpp"
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rcc {
+
+VertexCover forest_min_vertex_cover(const EdgeList& edges, ForestTieBreak tie) {
+  EdgeList simple = edges;
+  simple.dedup();
+  const Graph g(simple);
+  const VertexId n = g.num_vertices();
+  std::vector<std::int64_t> residual(n);
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> leaf_queue;
+  for (VertexId v = 0; v < n; ++v) {
+    residual[v] = g.degree(v);
+    if (residual[v] == 1) leaf_queue.push_back(v);
+  }
+
+  VertexCover cover(n);
+  std::size_t processed_edges = 0;
+  auto remove_into_cover = [&](VertexId v) {
+    cover.insert(v);
+    removed[v] = true;
+    for (VertexId w : g.neighbors(v)) {
+      if (removed[w]) continue;
+      ++processed_edges;
+      if (--residual[w] == 1) leaf_queue.push_back(w);
+    }
+    residual[v] = 0;
+  };
+
+  for (std::size_t head = 0; head < leaf_queue.size(); ++head) {
+    const VertexId leaf = leaf_queue[head];
+    if (removed[leaf] || residual[leaf] != 1) continue;
+    // Find the surviving neighbor.
+    VertexId nb = kInvalidVertex;
+    for (VertexId w : g.neighbors(leaf)) {
+      if (!removed[w]) {
+        nb = w;
+        break;
+      }
+    }
+    RCC_CHECK(nb != kInvalidVertex);
+    if (residual[nb] == 1) {
+      // Isolated edge: both minimum covers are valid; apply the tie-break.
+      const VertexId pick = (tie == ForestTieBreak::kHighId)
+                                ? std::max(leaf, nb)
+                                : std::min(leaf, nb);
+      remove_into_cover(pick);
+      // Mark the other endpoint as done so it is not revisited.
+      const VertexId other = pick == leaf ? nb : leaf;
+      removed[other] = true;
+      residual[other] = 0;
+    } else {
+      // Taking the internal neighbor dominates taking the leaf.
+      remove_into_cover(nb);
+    }
+  }
+
+  // A forest has every edge consumed by the leaf process; a cycle would
+  // leave residual degree-2 vertices behind.
+  RCC_CHECK(processed_edges == simple.num_edges());
+  RCC_CHECK(cover.covers(simple));
+  return cover;
+}
+
+}  // namespace rcc

@@ -1,0 +1,26 @@
+// Exact minimum vertex cover for forests, with a controllable tie-break.
+//
+// Needed by the R1d negative experiment: "send a minimum vertex cover of
+// your piece" fails on star instances precisely because a one-edge component
+// has two minimum covers and local information cannot distinguish the star
+// center from the leaf. The tie-break parameter makes that adversarial
+// choice explicit and reproducible.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+enum class ForestTieBreak {
+  kLowId,   // prefer the lower-id endpoint where choices are equivalent
+  kHighId,  // prefer the higher-id endpoint (picks leaves in star forests)
+};
+
+/// Minimum vertex cover of a forest via the classic leaf rule: while an edge
+/// remains, take a leaf's unique neighbor into the cover (optimal for
+/// forests); isolated edges (both endpoints degree 1) are resolved by the
+/// tie-break. Aborts if the input contains a cycle.
+VertexCover forest_min_vertex_cover(const EdgeList& edges, ForestTieBreak tie);
+
+}  // namespace rcc

@@ -1,0 +1,57 @@
+#include "vertex_cover/konig.hpp"
+
+#include <vector>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace rcc {
+
+VertexCover konig_min_vertex_cover(const Graph& g) {
+  RCC_CHECK(g.is_bipartite_tagged());
+  const VertexId n = g.num_vertices();
+  const VertexId nL = g.bipartition()->left_size;
+  const Matching m = hopcroft_karp(g);
+
+  // Z := vertices reachable from unmatched L-vertices along alternating
+  // paths (unmatched edge L->R, matched edge R->L).
+  std::vector<bool> in_z(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId u = 0; u < nL; ++u) {
+    if (!m.is_matched(u)) {
+      in_z[u] = true;
+      stack.push_back(u);
+    }
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (v < nL) {
+      for (VertexId w : g.neighbors(v)) {
+        if (m.mate(v) != w && !in_z[w]) {  // unmatched edge
+          in_z[w] = true;
+          stack.push_back(w);
+        }
+      }
+    } else {
+      const VertexId w = m.mate(v);
+      if (w != kInvalidVertex && !in_z[w]) {  // matched edge back to L
+        in_z[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  VertexCover cover(n);
+  for (VertexId u = 0; u < nL; ++u) {
+    if (!in_z[u]) cover.insert(u);
+  }
+  for (VertexId v = nL; v < n; ++v) {
+    if (in_z[v]) cover.insert(v);
+  }
+  RCC_CHECK(cover.size() == m.size());  // Koenig's theorem
+  return cover;
+}
+
+std::size_t konig_vc_size(const Graph& g) { return hopcroft_karp(g).size(); }
+
+}  // namespace rcc

@@ -1,0 +1,22 @@
+// Exact minimum vertex cover for bipartite graphs via Koenig's theorem.
+//
+// Every hard instance in the paper is bipartite, so this provides the exact
+// VC(G) denominators for the measured approximation ratios at full scale
+// (the general-graph branch-and-bound in exact.hpp only handles tiny n).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+/// Minimum vertex cover of a bipartition-tagged graph: computes a maximum
+/// matching, then the alternating-reachability construction
+/// VC = (L \ Z) U (R n Z) with Z the set reachable from unmatched left
+/// vertices along alternating paths.
+VertexCover konig_min_vertex_cover(const Graph& g);
+
+/// |minimum vertex cover| = |maximum matching| for bipartite graphs.
+std::size_t konig_vc_size(const Graph& g);
+
+}  // namespace rcc

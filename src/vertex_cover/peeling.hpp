@@ -1,0 +1,55 @@
+// Degree-peeling algorithms for vertex cover.
+//
+// Two artifacts live here:
+//  1. The single-graph Parnas-Ron style peeling that the paper's VC-Coreset
+//     modifies (Section 3.2, [59]): repeatedly collect all vertices whose
+//     residual degree exceeds a geometrically shrinking threshold.
+//  2. The *hypothetical* peeling process of Section 3.2 that is only used in
+//     the analysis of Theorem 2: given an optimal cover O*, it peels
+//     O_j = {v in O* : deg >= n/2^j} and
+//     Obar_j = {v in O*-bar : deg >= n/2^{j+2}} from the bipartite residual.
+//     We implement it so that property tests can check the "sandwich"
+//     relation of Lemma 3.6 and the size bound of Lemma 3.5 empirically.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+/// Result of a peeling run: vertices peeled per level plus residual edges.
+struct PeelingResult {
+  std::vector<std::vector<VertexId>> levels;  // levels[j] = peeled in round j
+  EdgeList residual;                          // edges of the final graph
+
+  std::vector<VertexId> all_peeled() const;
+};
+
+/// Parnas-Ron peeling on a single graph: round j removes vertices of
+/// residual degree >= n / 2^{j+1}; stops once the threshold drops to
+/// <= max(4 * log2(n), 1). O(log n)-approximation machinery of [59].
+PeelingResult parnas_ron_peeling(const EdgeList& edges);
+
+/// Full O(log n)-approximate VC: peeled vertices plus a 2-approximation on
+/// the sparse residual.
+VertexCover parnas_ron_vertex_cover(const EdgeList& edges, Rng& rng);
+
+/// The hypothetical two-threshold process from the proof of Theorem 2.
+/// `optimal_cover` is an indicator for O* (any vertex cover works, but the
+/// lemma is about an optimal one). Edges inside O* are dropped first (O*-bar
+/// is independent, so the residual is bipartite between O* and O*-bar).
+struct HypotheticalPeeling {
+  std::vector<std::vector<VertexId>> o_levels;     // O_j   (subsets of O*)
+  std::vector<std::vector<VertexId>> obar_levels;  // Obar_j (subsets of O*-bar)
+
+  std::vector<VertexId> all_o() const;
+  std::vector<VertexId> all_obar() const;
+  std::size_t total_size() const;
+};
+HypotheticalPeeling hypothetical_peeling(const EdgeList& edges,
+                                         const std::vector<bool>& optimal_cover);
+
+}  // namespace rcc

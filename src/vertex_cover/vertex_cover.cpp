@@ -1,0 +1,36 @@
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+VertexCover VertexCover::from_vertices(VertexId num_vertices,
+                                       const std::vector<VertexId>& vertices) {
+  VertexCover c(num_vertices);
+  for (VertexId v : vertices) c.insert(v);
+  return c;
+}
+
+void VertexCover::merge(const VertexCover& other) {
+  RCC_CHECK(other.num_vertices() == num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (other.in_cover_[v]) insert(v);
+  }
+}
+
+bool VertexCover::covers(const EdgeList& edges) const {
+  RCC_CHECK(edges.num_vertices() == num_vertices());
+  for (const Edge& e : edges) {
+    if (!in_cover_[e.u] && !in_cover_[e.v]) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> VertexCover::vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(size_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (in_cover_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rcc

@@ -1,0 +1,50 @@
+// Vertex cover value type with O(m) validation.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// A set of vertices over [0, n) intended to cover every edge of some graph.
+class VertexCover {
+ public:
+  VertexCover() = default;
+  explicit VertexCover(VertexId num_vertices)
+      : in_cover_(num_vertices, false) {}
+
+  static VertexCover from_vertices(VertexId num_vertices,
+                                   const std::vector<VertexId>& vertices);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(in_cover_.size());
+  }
+  std::size_t size() const { return size_; }
+
+  bool contains(VertexId v) const { return in_cover_[v]; }
+
+  void insert(VertexId v) {
+    RCC_DCHECK(v < in_cover_.size());
+    if (!in_cover_[v]) {
+      in_cover_[v] = true;
+      ++size_;
+    }
+  }
+
+  /// Adds every vertex of `other` (same universe).
+  void merge(const VertexCover& other);
+
+  /// True if every edge has at least one endpoint in the cover.
+  bool covers(const EdgeList& edges) const;
+
+  std::vector<VertexId> vertices() const;
+  const std::vector<bool>& indicator() const { return in_cover_; }
+
+ private:
+  std::vector<bool> in_cover_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rcc

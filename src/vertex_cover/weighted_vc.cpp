@@ -1,0 +1,107 @@
+#include "vertex_cover/weighted_vc.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+namespace rcc {
+
+double cover_weight(const VertexCover& cover, const VertexWeights& weights) {
+  RCC_CHECK(weights.size() == cover.num_vertices());
+  double total = 0.0;
+  for (VertexId v = 0; v < cover.num_vertices(); ++v) {
+    if (cover.contains(v)) total += weights[v];
+  }
+  return total;
+}
+
+WeightedVcResult local_ratio_weighted_vc(const EdgeList& edges,
+                                         const VertexWeights& weights) {
+  RCC_CHECK(weights.size() == edges.num_vertices());
+  for (double w : weights) RCC_CHECK(w >= 0.0);
+  WeightedVcResult result;
+  result.cover = VertexCover(edges.num_vertices());
+  VertexWeights residual = weights;
+  for (const Edge& e : edges) {
+    if (result.cover.contains(e.u) || result.cover.contains(e.v)) continue;
+    const double price = std::min(residual[e.u], residual[e.v]);
+    residual[e.u] -= price;
+    residual[e.v] -= price;
+    result.lower_bound += price;
+    // Zero-residual vertices are paid for; taking them is free now.
+    if (residual[e.u] <= 0.0) result.cover.insert(e.u);
+    if (residual[e.v] <= 0.0) result.cover.insert(e.v);
+  }
+  RCC_CHECK(result.cover.covers(edges));
+  return result;
+}
+
+VertexCover greedy_weighted_vc(const EdgeList& edges,
+                               const VertexWeights& weights) {
+  RCC_CHECK(weights.size() == edges.num_vertices());
+  const Graph g(edges);
+  const VertexId n = g.num_vertices();
+  std::vector<std::int64_t> residual_deg(n);
+  for (VertexId v = 0; v < n; ++v) residual_deg[v] = g.degree(v);
+  VertexCover cover(n);
+  // residual_deg[v] counts v's incident edges with both endpoints outside
+  // the cover; taking v covers exactly residual_deg[v] edges.
+  std::int64_t uncovered = static_cast<std::int64_t>(edges.num_edges());
+  while (uncovered > 0) {
+    // O(n) selection per step keeps the code simple; the baselines run on
+    // modest instances.
+    VertexId best = kInvalidVertex;
+    double best_score = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (cover.contains(v) || residual_deg[v] == 0) continue;
+      const double score = weights[v] / static_cast<double>(residual_deg[v]);
+      if (best == kInvalidVertex || score < best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    RCC_CHECK(best != kInvalidVertex);
+    uncovered -= residual_deg[best];
+    cover.insert(best);
+    for (VertexId w : g.neighbors(best)) {
+      if (!cover.contains(w)) --residual_deg[w];
+    }
+    residual_deg[best] = 0;
+  }
+  RCC_CHECK(cover.covers(edges));
+  return cover;
+}
+
+namespace {
+double exact_rec(const std::vector<Edge>& edges, std::size_t i,
+                 const VertexWeights& weights, std::vector<bool>& taken,
+                 double cost, double best) {
+  if (cost >= best) return best;
+  // Find next uncovered edge.
+  while (i < edges.size() &&
+         (taken[edges[i].u] || taken[edges[i].v])) {
+    ++i;
+  }
+  if (i == edges.size()) return std::min(best, cost);
+  const Edge& e = edges[i];
+  taken[e.u] = true;
+  best = exact_rec(edges, i + 1, weights, taken, cost + weights[e.u], best);
+  taken[e.u] = false;
+  taken[e.v] = true;
+  best = exact_rec(edges, i + 1, weights, taken, cost + weights[e.v], best);
+  taken[e.v] = false;
+  return best;
+}
+}  // namespace
+
+double exact_weighted_vc_small(const EdgeList& edges,
+                               const VertexWeights& weights) {
+  RCC_CHECK(edges.num_edges() <= 40);
+  std::vector<Edge> es(edges.begin(), edges.end());
+  std::vector<bool> taken(edges.num_vertices(), false);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  return exact_rec(es, 0, weights, taken, 0.0, total);
+}
+
+}  // namespace rcc

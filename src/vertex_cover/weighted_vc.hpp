@@ -1,0 +1,51 @@
+// Vertex-weighted minimum vertex cover: baselines and certificates.
+//
+// The paper extends its VC coreset to the weighted problem by "grouping by
+// weight" with an O(log n) factor loss (Section 1.1; details omitted). This
+// header provides the centralized machinery that extension needs:
+//
+//  * local_ratio_weighted_vc — the classic Bar-Yehuda & Even 2-approximation
+//    (local-ratio / primal-dual). It also returns the dual certificate
+//    (total price paid), which lower-bounds the weighted optimum, so
+//    experiments can report true approximation ratios without an exact
+//    solver.
+//  * greedy_weighted_vc — weight-over-degree greedy (H_n-approximation),
+//    a second baseline.
+//  * exact_weighted_vc_small — exhaustive optimum for tiny instances
+//    (tests only).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "vertex_cover/vertex_cover.hpp"
+
+namespace rcc {
+
+/// Vertex weights for a graph over [0, n). All weights must be >= 0.
+using VertexWeights = std::vector<double>;
+
+/// Total weight of a cover.
+double cover_weight(const VertexCover& cover, const VertexWeights& weights);
+
+struct WeightedVcResult {
+  VertexCover cover;
+  /// Sum of edge prices charged by the local-ratio run: a lower bound on
+  /// the optimal cover weight, and cover_weight <= 2 * lower_bound.
+  double lower_bound = 0.0;
+};
+
+/// Bar-Yehuda & Even local-ratio 2-approximation: scan edges; for each
+/// uncovered edge, pay min(residual(u), residual(v)) against both endpoints;
+/// vertices whose residual hits zero enter the cover.
+WeightedVcResult local_ratio_weighted_vc(const EdgeList& edges,
+                                         const VertexWeights& weights);
+
+/// Greedy: repeatedly take the vertex minimizing weight / residual-degree.
+VertexCover greedy_weighted_vc(const EdgeList& edges, const VertexWeights& weights);
+
+/// Exact optimum by exhaustive branch and bound; aborts above ~30 vertices
+/// of support.
+double exact_weighted_vc_small(const EdgeList& edges, const VertexWeights& weights);
+
+}  // namespace rcc

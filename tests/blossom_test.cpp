@@ -1,0 +1,124 @@
+#include "matching/blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+/// Brute-force maximum matching size by edge-subset recursion (small m).
+std::size_t brute_force_mm(const EdgeList& edges) {
+  std::size_t best = 0;
+  std::vector<bool> used(edges.num_vertices(), false);
+  auto rec = [&](auto&& self, std::size_t i, std::size_t size) -> void {
+    best = std::max(best, size);
+    if (i == edges.num_edges()) return;
+    self(self, i + 1, size);
+    const Edge& e = edges[i];
+    if (!used[e.u] && !used[e.v]) {
+      used[e.u] = used[e.v] = true;
+      self(self, i + 1, size + 1);
+      used[e.u] = used[e.v] = false;
+    }
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+TEST(Blossom, OddCycleMatchesFloorHalf) {
+  for (VertexId n : {3u, 5u, 7u, 9u, 11u}) {
+    const Matching m = blossom_maximum_matching(Graph(cycle(n)));
+    EXPECT_EQ(m.size(), n / 2) << "cycle " << n;
+    EXPECT_TRUE(m.valid());
+  }
+}
+
+TEST(Blossom, EvenCyclePerfect) {
+  for (VertexId n : {4u, 6u, 10u}) {
+    EXPECT_EQ(blossom_maximum_matching(Graph(cycle(n))).size(), n / 2);
+  }
+}
+
+TEST(Blossom, PathMatching) {
+  EXPECT_EQ(blossom_maximum_matching(Graph(path(2))).size(), 1u);
+  EXPECT_EQ(blossom_maximum_matching(Graph(path(5))).size(), 2u);
+  EXPECT_EQ(blossom_maximum_matching(Graph(path(6))).size(), 3u);
+}
+
+TEST(Blossom, TriangleWithPendants) {
+  // Triangle 0-1-2 plus pendants 3 on 0 and 4 on 1: maximum matching = 2.
+  EdgeList el(5);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(0, 3);
+  el.add(1, 4);
+  EXPECT_EQ(blossom_maximum_matching(Graph(el)).size(), 2u);
+}
+
+TEST(Blossom, PetersenGraphHasPerfectMatching) {
+  // Standard Petersen construction: outer 5-cycle, inner 5-star polygon,
+  // spokes. 10 vertices, 15 edges, perfect matching exists.
+  EdgeList el(10);
+  for (VertexId i = 0; i < 5; ++i) el.add(i, (i + 1) % 5);
+  for (VertexId i = 0; i < 5; ++i) el.add(5 + i, 5 + (i + 2) % 5);
+  for (VertexId i = 0; i < 5; ++i) el.add(i, 5 + i);
+  const Matching m = blossom_maximum_matching(Graph(el));
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(Blossom, TwoTrianglesJoinedByEdge) {
+  // Triangles {0,1,2} and {3,4,5} plus bridge 2-3: perfect matching size 3.
+  EdgeList el(6);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(3, 4);
+  el.add(4, 5);
+  el.add(3, 5);
+  el.add(2, 3);
+  EXPECT_EQ(blossom_maximum_matching(Graph(el)).size(), 3u);
+}
+
+TEST(Blossom, EmptyAndSingleEdge) {
+  EXPECT_EQ(blossom_maximum_matching(Graph(EdgeList(4))).size(), 0u);
+  EdgeList el(2);
+  el.add(0, 1);
+  EXPECT_EQ(blossom_maximum_matching(Graph(el)).size(), 1u);
+}
+
+class BlossomVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomVsBruteForce, AgreesOnSmallRandomGraphs) {
+  Rng rng(GetParam());
+  const VertexId n = 12;
+  const EdgeList el = gnp(n, 0.25, rng);
+  if (el.num_edges() > 24) GTEST_SKIP() << "brute force too large";
+  const Matching m = blossom_maximum_matching(Graph(el));
+  EXPECT_EQ(m.size(), brute_force_mm(el));
+  EXPECT_TRUE(m.valid());
+  EXPECT_TRUE(m.subset_of(el));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomVsBruteForce, ::testing::Range(1, 30));
+
+class BlossomOddStructures : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlossomOddStructures, DenseRandomGraphNearPerfect) {
+  // G(n, 8/n) with even n has a near-perfect matching w.h.p.; we assert at
+  // least 90% of the vertices get matched (blossoms are exercised heavily).
+  Rng rng(GetParam() + 100);
+  const VertexId n = 200;
+  const EdgeList el = gnp(n, 8.0 / n, rng);
+  const Matching m = blossom_maximum_matching(Graph(el));
+  EXPECT_GE(m.size() * 2, static_cast<std::size_t>(0.9 * n));
+  EXPECT_TRUE(m.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomOddStructures, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rcc

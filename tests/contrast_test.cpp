@@ -1,0 +1,110 @@
+// Tests for the contrast systems: composable connectivity coresets (which
+// need no randomness) and greedy spanners.
+#include "contrast/connectivity_coreset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "partition/partition.hpp"
+#include "util/dsu.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(Dsu, BasicOperations) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.num_components(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.component_size(1), 2u);
+  EXPECT_EQ(dsu.num_components(), 4u);
+}
+
+TEST(SpanningForest, IsAForestWithSameComponents) {
+  Rng rng(1);
+  const EdgeList el = gnp(300, 0.02, rng);
+  const EdgeList forest = spanning_forest(el);
+  // Forest: no cycle — every edge must unite two different components.
+  Dsu check(300);
+  for (const Edge& e : forest) EXPECT_TRUE(check.unite(e.u, e.v));
+  EXPECT_EQ(connected_components(Graph(forest)), connected_components(Graph(el)));
+  EXPECT_LE(forest.num_edges(), 299u);
+}
+
+// The intro's claim: connectivity has a composable coreset that works for
+// ANY partition, adversarial included.
+class ConnectivityComposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConnectivityComposition, ExactUnderAllPartitioners) {
+  Rng rng(GetParam());
+  const VertexId n = 400;
+  const EdgeList el = gnp(n, 1.5 / n, rng);  // below the giant-component knee
+  const std::size_t true_components = connected_components(Graph(el));
+  const SpanningForestCoreset coreset;
+
+  auto compose_on = [&](const std::vector<EdgeList>& pieces) {
+    std::vector<EdgeList> summaries;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      PartitionContext ctx{n, pieces.size(), i, 0};
+      summaries.push_back(coreset.build(pieces[i], ctx, rng));
+    }
+    const EdgeList merged = spanning_forest(EdgeList::union_of(summaries));
+    return connected_components(Graph(merged));
+  };
+
+  EXPECT_EQ(compose_on(random_partition(el, 7, rng)), true_components);
+  EXPECT_EQ(compose_on(sorted_chunk_partition(el, 7)), true_components);
+  EXPECT_EQ(compose_on(by_vertex_partition(el, 7)), true_components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectivityComposition, ::testing::Range(1, 11));
+
+TEST(GreedySpanner, KeepsGraphConnectedAndSparse) {
+  Rng rng(2);
+  const VertexId n = 300;
+  const EdgeList el = gnp(n, 0.1, rng);
+  const EdgeList spanner = greedy_spanner(el, 2);  // stretch 3
+  EXPECT_LT(spanner.num_edges(), el.num_edges());
+  EXPECT_EQ(connected_components(Graph(spanner)), connected_components(Graph(el)));
+}
+
+TEST(GreedySpanner, StretchBoundOnSampledPairs) {
+  Rng rng(3);
+  const VertexId n = 150;
+  const EdgeList el = gnp(n, 0.15, rng);
+  const int t = 2;
+  const EdgeList spanner = greedy_spanner(el, t);
+  // Stretch check on the original edges: d_spanner(u, v) <= 2t-1 for every
+  // original edge (the defining property of the greedy construction).
+  int checked = 0;
+  for (const Edge& e : el) {
+    if (++checked > 50) break;  // sample
+    const std::uint64_t d = bfs_distance(spanner, e.u, e.v);
+    EXPECT_LE(d, static_cast<std::uint64_t>(2 * t - 1));
+  }
+}
+
+TEST(GreedySpanner, StretchOneKeepsEverything) {
+  Rng rng(4);
+  const EdgeList el = gnp(80, 0.1, rng);
+  EdgeList dedup = el;
+  dedup.dedup();
+  const EdgeList spanner = greedy_spanner(dedup, 1);
+  EXPECT_EQ(spanner.num_edges(), dedup.num_edges());
+}
+
+TEST(GreedySpanner, TriangleDropsOneEdgeAtStretch2) {
+  EdgeList tri(3);
+  tri.add(0, 1);
+  tri.add(1, 2);
+  tri.add(0, 2);
+  const EdgeList spanner = greedy_spanner(tri, 2);
+  EXPECT_EQ(spanner.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,92 @@
+#include "matching/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/max_matching.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(GreedyMaximal, GivenOrderIsDeterministic) {
+  EdgeList el(4);
+  el.add(1, 2);  // scanned first: blocks the perfect matching
+  el.add(0, 1);
+  el.add(2, 3);
+  Rng rng(1);
+  const Matching m = greedy_maximal_matching(el, GreedyOrder::kGiven, rng);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.mate(1), 2u);
+}
+
+TEST(GreedyMaximal, AlwaysMaximalAndValidOnRandomGraphs) {
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const EdgeList el = gnp(200, 0.05, rng);
+    const Matching m = greedy_maximal_matching(el, GreedyOrder::kRandom, rng);
+    EXPECT_TRUE(m.valid());
+    EXPECT_TRUE(m.maximal_in(el));
+    EXPECT_TRUE(m.subset_of(el));
+  }
+}
+
+TEST(GreedyMaximal, AtLeastHalfOfMaximum) {
+  // Classical guarantee: any maximal matching is a 1/2-approximation.
+  Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(150, 0.03, rng);
+    const Matching greedy = greedy_maximal_matching(el, GreedyOrder::kRandom, rng);
+    const std::size_t opt = maximum_matching_size(el);
+    EXPECT_GE(2 * greedy.size(), opt);
+  }
+}
+
+TEST(GreedyMaximalBy, KeyOrderControlsChoice) {
+  // Path 0-1-2-3: key prefers the middle edge -> matching of size 1;
+  // preferring outer edges -> size 2.
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  const Matching middle_first = greedy_maximal_matching_by(
+      el, [](const Edge& e) { return e.u == 1 ? 0.0 : 1.0; });
+  EXPECT_EQ(middle_first.size(), 1u);
+  const Matching outer_first = greedy_maximal_matching_by(
+      el, [](const Edge& e) { return e.u == 1 ? 1.0 : 0.0; });
+  EXPECT_EQ(outer_first.size(), 2u);
+}
+
+TEST(GreedyExtend, OnlyAddsCompatibleEdges) {
+  Matching base(6);
+  base.match(0, 1);
+  EdgeList extra(6);
+  extra.add(1, 2);  // conflicts
+  extra.add(3, 4);  // compatible
+  greedy_extend(base, extra);
+  EXPECT_EQ(base.size(), 2u);
+  EXPECT_TRUE(base.is_matched(3));
+  EXPECT_FALSE(base.is_matched(2));
+}
+
+TEST(GreedyExtend, EmptyExtraIsNoop) {
+  Matching base(4);
+  base.match(0, 1);
+  greedy_extend(base, EdgeList(4));
+  EXPECT_EQ(base.size(), 1u);
+}
+
+class GreedyOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyOrderSweep, RandomOrderMaximalOnManySeeds) {
+  Rng rng(GetParam());
+  const EdgeList el = gnp(100, 0.08, rng);
+  const Matching m = greedy_maximal_matching(el, GreedyOrder::kRandom, rng);
+  EXPECT_TRUE(m.maximal_in(el));
+  EXPECT_TRUE(m.subset_of(el));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOrderSweep, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,100 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/blossom.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(HopcroftKarp, PerfectMatchingOnPlantedInstance) {
+  Rng rng(1);
+  const EdgeList el = random_perfect_matching(500, rng);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 500));
+  EXPECT_EQ(m.size(), 500u);
+  EXPECT_TRUE(m.valid());
+  EXPECT_TRUE(m.subset_of(el));
+}
+
+TEST(HopcroftKarp, CompleteBipartiteMinSide) {
+  const EdgeList el = complete_bipartite(7, 12);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 7));
+  EXPECT_EQ(m.size(), 7u);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const Matching m = hopcroft_karp(bipartite_graph(EdgeList(10), 5));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(HopcroftKarp, KnownSmallInstance) {
+  // L = {0,1,2}, R = {3,4,5}. 0-3, 0-4, 1-3, 2-5. Max matching = 3.
+  EdgeList el(6);
+  el.add(0, 4);
+  el.add(0, 3);
+  el.add(1, 3);
+  el.add(2, 5);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 3));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(HopcroftKarp, HallViolatorLimitsMatching) {
+  // Three left vertices all adjacent only to one right vertex.
+  EdgeList el(4);
+  el.add(0, 3);
+  el.add(1, 3);
+  el.add(2, 3);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 3));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(HopcroftKarp, StarPlusMatchingRequiresAugmentation) {
+  // Greedy init may match 0-5 first; HK must recover the perfect matching.
+  EdgeList el(10);
+  for (VertexId r = 5; r < 10; ++r) el.add(0, r);
+  el.add(1, 5);
+  el.add(2, 6);
+  el.add(3, 7);
+  el.add(4, 8);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 5));
+  EXPECT_EQ(m.size(), 5u);
+}
+
+TEST(HopcroftKarp, ParallelEdgesHandled) {
+  EdgeList el(4);
+  el.add(0, 2);
+  el.add(0, 2);
+  el.add(1, 3);
+  const Matching m = hopcroft_karp(bipartite_graph(el, 2));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(HopcroftKarpDeathTest, RequiresBipartitionTag) {
+  EXPECT_DEATH(hopcroft_karp(Graph(path(4))), "RCC_CHECK");
+}
+
+class HkVsBlossom : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HkVsBlossom, AgreeOnRandomBipartiteGraphs) {
+  const auto [seed, p] = GetParam();
+  Rng rng(seed);
+  const VertexId side = 120;
+  const EdgeList el = random_bipartite(side, side, p, rng);
+  const Matching hk = hopcroft_karp(bipartite_graph(el, side));
+  const Matching bl = blossom_maximum_matching(Graph(el));
+  EXPECT_EQ(hk.size(), bl.size());
+  EXPECT_TRUE(hk.valid());
+  EXPECT_TRUE(bl.valid());
+  EXPECT_TRUE(hk.subset_of(el));
+  EXPECT_TRUE(bl.subset_of(el));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HkVsBlossom,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.005, 0.02, 0.08)));
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,96 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcc {
+namespace {
+
+TEST(Matching, StartsEmpty) {
+  Matching m(5);
+  EXPECT_EQ(m.size(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_FALSE(m.is_matched(v));
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(Matching, MatchAndMates) {
+  Matching m(4);
+  m.match(0, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.is_matched(0));
+  EXPECT_TRUE(m.is_matched(2));
+  EXPECT_EQ(m.mate(0), 2u);
+  EXPECT_EQ(m.mate(2), 0u);
+  EXPECT_EQ(m.mate(1), kInvalidVertex);
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(MatchingDeathTest, DoubleMatchAborts) {
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_DEATH(m.match(1, 2), "RCC_CHECK");
+}
+
+TEST(Matching, Unmatch) {
+  Matching m(4);
+  m.match(0, 1);
+  m.unmatch(1);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.is_matched(0));
+  m.unmatch(2);  // no-op on unmatched vertex
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, ToEdgeListNormalized) {
+  Matching m(6);
+  m.match(5, 2);
+  m.match(0, 3);
+  EdgeList el = m.to_edge_list();
+  el.sort();
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el[0], make_edge(0, 3));
+  EXPECT_EQ(el[1], make_edge(2, 5));
+}
+
+TEST(Matching, FromEdgesRoundTrip) {
+  EdgeList el(6);
+  el.add(0, 1);
+  el.add(2, 3);
+  const Matching m = Matching::from_edges(el);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.mate(0), 1u);
+  EXPECT_EQ(m.mate(3), 2u);
+}
+
+TEST(MatchingDeathTest, FromEdgesRejectsNonMatching) {
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2);
+  EXPECT_DEATH(Matching::from_edges(el), "RCC_CHECK");
+}
+
+TEST(Matching, SubsetOf) {
+  EdgeList graph(4);
+  graph.add(0, 1);
+  graph.add(2, 3);
+  graph.add(1, 2);
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_TRUE(m.subset_of(graph));
+  Matching bogus(4);
+  bogus.match(0, 3);  // not a graph edge
+  EXPECT_FALSE(bogus.subset_of(graph));
+}
+
+TEST(Matching, MaximalIn) {
+  EdgeList graph(4);
+  graph.add(0, 1);
+  graph.add(2, 3);
+  Matching m(4);
+  m.match(0, 1);
+  EXPECT_FALSE(m.maximal_in(graph));  // (2,3) addable
+  m.match(2, 3);
+  EXPECT_TRUE(m.maximal_in(graph));
+}
+
+}  // namespace
+}  // namespace rcc

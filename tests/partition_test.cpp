@@ -1,0 +1,160 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(RandomPartition, PreservesEveryEdgeExactlyOnce) {
+  Rng rng(1);
+  const EdgeList el = gnp(300, 0.05, rng);
+  const auto parts = random_partition(el, 7, rng);
+  ASSERT_EQ(parts.size(), 7u);
+  EdgeList merged = EdgeList::union_of(parts);
+  EXPECT_EQ(merged.num_edges(), el.num_edges());
+  EdgeList sorted_in = el;
+  sorted_in.sort();
+  merged.sort();
+  for (std::size_t i = 0; i < merged.num_edges(); ++i) {
+    EXPECT_EQ(merged[i], sorted_in[i]);
+  }
+}
+
+TEST(RandomPartition, SingleMachineGetsEverything) {
+  Rng rng(2);
+  const EdgeList el = gnp(100, 0.1, rng);
+  const auto parts = random_partition(el, 1, rng);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].num_edges(), el.num_edges());
+}
+
+TEST(RandomPartition, BalancedInExpectation) {
+  Rng rng(3);
+  const EdgeList el = gnp(600, 0.1, rng);  // ~18k edges
+  const std::size_t k = 10;
+  const auto parts = random_partition(el, k, rng);
+  const PartitionStats stats = partition_stats(parts);
+  const double expected = static_cast<double>(el.num_edges()) / k;
+  EXPECT_NEAR(stats.mean_edges, expected, 1e-9);
+  // 5-sigma binomial bound.
+  const double sigma = std::sqrt(expected * (1.0 - 1.0 / k));
+  EXPECT_GT(static_cast<double>(stats.min_edges), expected - 5 * sigma);
+  EXPECT_LT(static_cast<double>(stats.max_edges), expected + 5 * sigma);
+}
+
+TEST(RandomPartition, MachineAssignmentIsUniformPerEdge) {
+  EdgeList el(2);
+  el.add(0, 1);
+  Rng rng(4);
+  const std::size_t k = 4;
+  std::vector<int> counts(k, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const auto parts = random_partition(el, k, rng);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!parts[i].empty()) ++counts[i];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.01);
+  }
+}
+
+TEST(RandomPartitionWeighted, PreservesEdgesAndWeights) {
+  WeightedEdgeList w;
+  w.num_vertices = 10;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(9));
+    w.add(u, static_cast<VertexId>(u + 1), rng.uniform_real(0.0, 5.0));
+  }
+  const auto parts = random_partition_weighted(w, 5, rng);
+  std::size_t total = 0;
+  double weight_total = 0.0;
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.num_vertices, 10u);
+    total += p.edges.size();
+    for (const auto& e : p.edges) weight_total += e.weight;
+  }
+  EXPECT_EQ(total, 100u);
+  double original_weight = 0.0;
+  for (const auto& e : w.edges) original_weight += e.weight;
+  EXPECT_DOUBLE_EQ(weight_total, original_weight);
+}
+
+TEST(SortedChunkPartition, ContiguousAndComplete) {
+  Rng rng(6);
+  const EdgeList el = gnp(100, 0.2, rng);
+  const auto parts = sorted_chunk_partition(el, 4);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.num_edges();
+  EXPECT_EQ(total, el.num_edges());
+  // Chunks are sorted and non-overlapping: last edge of part i <= first of i+1.
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i].empty() || parts[i + 1].empty()) continue;
+    EXPECT_LE(parts[i][parts[i].num_edges() - 1], parts[i + 1][0]);
+  }
+}
+
+TEST(ByVertexPartition, GroupsEdgesByLeftEndpoint) {
+  Rng rng(7);
+  const EdgeList el = gnp(50, 0.3, rng);
+  const auto parts = by_vertex_partition(el, 5);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (const Edge& e : parts[i]) {
+      EXPECT_EQ(e.u % 5, i);
+    }
+  }
+}
+
+TEST(PartitionStats, ComputesMinMaxMean) {
+  std::vector<EdgeList> parts(3, EdgeList(4));
+  parts[0].add(0, 1);
+  parts[0].add(1, 2);
+  parts[1].add(2, 3);
+  const PartitionStats s = partition_stats(parts);
+  EXPECT_EQ(s.min_edges, 0u);
+  EXPECT_EQ(s.max_edges, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_edges, 1.0);
+}
+
+
+TEST(RandomVertexPartition, EveryEdgeOnItsEndpointsMachines) {
+  Rng rng(20);
+  const EdgeList el = gnp(200, 0.05, rng);
+  const std::size_t k = 5;
+  const auto parts = random_vertex_partition(el, k, rng);
+  // Each edge appears once (same owner) or twice (different owners); the
+  // union must contain every edge, and total copies <= 2m.
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.num_edges();
+  EXPECT_GE(total, el.num_edges());
+  EXPECT_LE(total, 2 * el.num_edges());
+  EdgeList merged = EdgeList::union_of(parts);
+  merged.dedup();
+  EdgeList expected = el;
+  expected.dedup();
+  EXPECT_EQ(merged.num_edges(), expected.num_edges());
+}
+
+TEST(RandomVertexPartition, DuplicationRateMatchesModel) {
+  // An edge is duplicated iff its endpoints land on different machines:
+  // probability 1 - 1/k.
+  Rng rng(21);
+  const EdgeList el = gnp(400, 0.05, rng);
+  const std::size_t k = 8;
+  const auto parts = random_vertex_partition(el, k, rng);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.num_edges();
+  const double dup_rate =
+      static_cast<double>(total - el.num_edges()) / el.num_edges();
+  EXPECT_NEAR(dup_rate, 1.0 - 1.0 / k, 0.05);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,114 @@
+// Tests for the semi-streaming module.
+#include "streaming/streaming_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/max_matching.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(StreamingMaximal, MatchesGreedyGivenOrder) {
+  Rng rng(1);
+  const EdgeList el = gnp(200, 0.05, rng);
+  StreamingMaximalMatching stream(200);
+  for (const Edge& e : el) stream.offer(e.u, e.v);
+  const Matching& m = stream.matching();
+  EXPECT_TRUE(m.valid());
+  EXPECT_TRUE(m.maximal_in(el));
+  EXPECT_TRUE(m.subset_of(el));
+}
+
+TEST(StreamingMaximal, TwoApproximation) {
+  Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(150, 0.04, rng);
+    StreamingMaximalMatching stream(150);
+    for (const Edge& e : el) stream.offer(e.u, e.v);
+    EXPECT_GE(2 * stream.matching().size(), maximum_matching_size(el));
+  }
+}
+
+TEST(StreamingMaximal, OfferReportsTaken) {
+  StreamingMaximalMatching stream(4);
+  EXPECT_TRUE(stream.offer(0, 1));
+  EXPECT_FALSE(stream.offer(1, 2));  // 1 already matched
+  EXPECT_TRUE(stream.offer(2, 3));
+  EXPECT_EQ(stream.state_words(), 4u);  // two matched edges, 2 words each
+}
+
+TEST(StreamingWeighted, FinalizeIsValidMatching) {
+  Rng rng(3);
+  StreamingWeightedMatching stream(100);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(100));
+    const auto v = static_cast<VertexId>(rng.next_below(100));
+    if (u != v) stream.offer(u, v, rng.uniform_real(1.0, 100.0));
+  }
+  const Matching m = stream.finalize();
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(StreamingWeighted, ClassCountGrowsLogarithmically) {
+  StreamingWeightedMatching stream(10);
+  stream.offer(0, 1, 1.0);
+  stream.offer(2, 3, 2.0);
+  stream.offer(4, 5, 1024.0);
+  EXPECT_EQ(stream.num_classes(), 11u);  // classes 0..10 for weight 2^10
+}
+
+TEST(StreamingWeighted, PrefersHeavyClasses) {
+  StreamingWeightedMatching stream(4);
+  stream.offer(0, 1, 1.0);    // light class, blocks 0 and 1 there
+  stream.offer(1, 2, 100.0);  // heavy class
+  const Matching m = stream.finalize();
+  // The heavy edge must win the merge: 1-2 matched, 0 left out.
+  EXPECT_TRUE(m.is_matched(1));
+  EXPECT_EQ(m.mate(1), 2u);
+  EXPECT_FALSE(m.is_matched(0));
+}
+
+TEST(StreamingWeighted, ConstantFactorOfGreedyOffline) {
+  Rng rng(4);
+  WeightedEdgeList w;
+  w.num_vertices = 120;
+  StreamingWeightedMatching stream(120);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(120));
+    const auto v = static_cast<VertexId>(rng.next_below(120));
+    if (u == v) continue;
+    const double weight = rng.uniform_real(1.0, 512.0);
+    w.add(u, v, weight);
+    stream.offer(u, v, weight);
+  }
+  const double streamed = matching_weight(stream.finalize(), w);
+  const double offline = matching_weight(greedy_weighted_matching(w), w);
+  // Crouch-Stubbs per-class greedy + heaviest-first merge: within a small
+  // constant of the offline greedy.
+  EXPECT_GE(streamed * 4.0, offline);
+}
+
+TEST(StreamingWeighted, StateStaysNearLinear) {
+  Rng rng(5);
+  const VertexId n = 200;
+  StreamingWeightedMatching stream(n);
+  for (int i = 0; i < 20000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v) stream.offer(u, v, rng.uniform_real(1.0, 1000.0));
+  }
+  // <= (n/2) edges per class, ~10 classes.
+  EXPECT_LE(stream.state_edges(), static_cast<std::size_t>(n / 2) * 11);
+}
+
+TEST(StreamingWeighted, ZeroAndNegativeWeightsIgnored) {
+  StreamingWeightedMatching stream(4);
+  stream.offer(0, 1, 0.0);
+  stream.offer(2, 3, -1.0);
+  EXPECT_EQ(stream.finalize().size(), 0u);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"k", "ratio"});
+  t.add_row({"2", "1.05"});
+  t.add_row({"64", "1.12"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| k "), std::string::npos);
+  EXPECT_NE(s.find("ratio"), std::string::npos);
+  EXPECT_NE(s.find("1.05"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(TablePrinter::fmt(std::int64_t{-7}), "-7");
+  EXPECT_EQ(TablePrinter::fmt_ratio(1.5), "1.500");
+}
+
+TEST(TablePrinter, WideCellsExpandColumn) {
+  TablePrinter t({"x"});
+  t.add_row({"a-very-long-cell"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(Options, DefaultsAreReturned) {
+  Options opts("test");
+  opts.flag("n", "100", "size").flag("p", "0.5", "prob").flag("v", "false", "verbose");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  opts.parse(1, argv);
+  EXPECT_EQ(opts.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(opts.get_double("p"), 0.5);
+  EXPECT_FALSE(opts.get_bool("v"));
+}
+
+TEST(Options, ParsesEqualsAndSpaceSyntax) {
+  Options opts("test");
+  opts.flag("n", "1", "").flag("name", "x", "");
+  char prog[] = "prog";
+  char a1[] = "--n=42";
+  char a2[] = "--name";
+  char a3[] = "hello";
+  char* argv[] = {prog, a1, a2, a3};
+  opts.parse(4, argv);
+  EXPECT_EQ(opts.get_int("n"), 42);
+  EXPECT_EQ(opts.get_string("name"), "hello");
+}
+
+TEST(Options, BoolParsing) {
+  Options opts("test");
+  opts.flag("a", "true", "").flag("b", "1", "").flag("c", "on", "").flag("d", "no", "");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  opts.parse(1, argv);
+  EXPECT_TRUE(opts.get_bool("a"));
+  EXPECT_TRUE(opts.get_bool("b"));
+  EXPECT_TRUE(opts.get_bool("c"));
+  EXPECT_FALSE(opts.get_bool("d"));
+}
+
+
+TEST(TablePrinter, CsvRendering) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rcc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(pool, n, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(pool, 3, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, ComputesParallelSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<std::uint64_t> values(n);
+  parallel_for(pool, n, [&](std::size_t i) { values[i] = i; });
+  const auto sum = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelFor, TransientPoolOverload) {
+  std::vector<std::atomic<int>> visits(64);
+  parallel_for(64, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace rcc

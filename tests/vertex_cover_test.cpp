@@ -1,0 +1,189 @@
+#include "vertex_cover/vertex_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "vertex_cover/approx.hpp"
+#include "vertex_cover/exact.hpp"
+#include "vertex_cover/forest.hpp"
+#include "vertex_cover/konig.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+TEST(VertexCoverType, InsertAndSize) {
+  VertexCover c(5);
+  EXPECT_EQ(c.size(), 0u);
+  c.insert(2);
+  c.insert(2);  // idempotent
+  c.insert(4);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.vertices(), (std::vector<VertexId>{2, 4}));
+}
+
+TEST(VertexCoverType, CoversDetection) {
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(2, 3);
+  VertexCover c(4);
+  c.insert(0);
+  EXPECT_FALSE(c.covers(el));
+  c.insert(2);
+  EXPECT_TRUE(c.covers(el));
+}
+
+TEST(VertexCoverType, Merge) {
+  VertexCover a(4), b(4);
+  a.insert(0);
+  b.insert(0);
+  b.insert(3);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(TwoApprox, AlwaysCoversAndIsEvenSized) {
+  Rng rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(120, 0.05, rng);
+    const VertexCover c = vc_two_approximation(el, rng);
+    EXPECT_TRUE(c.covers(el));
+    // The cover is both endpoints of a matching, hence even-sized.
+    EXPECT_EQ(c.size() % 2, 0u);
+  }
+}
+
+TEST(TwoApprox, RatioAgainstKonigOnBipartite) {
+  Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = random_bipartite(80, 80, 0.05, rng);
+    const VertexCover c = vc_two_approximation(el, rng);
+    EXPECT_TRUE(c.covers(el));
+    const std::size_t opt = konig_vc_size(bipartite_graph(el, 80));
+    EXPECT_LE(c.size(), 2 * opt);
+  }
+}
+
+TEST(GreedyMaxDegree, CoversAndBeatsTrivialBound) {
+  Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(150, 0.04, rng);
+    const VertexCover c = vc_greedy_max_degree(el);
+    EXPECT_TRUE(c.covers(el));
+    EXPECT_LE(c.size(), 150u);
+  }
+}
+
+TEST(GreedyMaxDegree, StarTakesCenter) {
+  const EdgeList el = star(20);
+  const VertexCover c = vc_greedy_max_degree(el);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(Konig, SizeEqualsMaximumMatching) {
+  Rng rng(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = random_bipartite(60, 60, 0.08, rng);
+    const Graph g = bipartite_graph(el, 60);
+    const VertexCover c = konig_min_vertex_cover(g);
+    EXPECT_TRUE(c.covers(el));
+    EXPECT_EQ(c.size(), hopcroft_karp(g).size());
+  }
+}
+
+TEST(Konig, PerfectMatchingInstance) {
+  Rng rng(99);
+  const EdgeList el = random_perfect_matching(50, rng);
+  const VertexCover c = konig_min_vertex_cover(bipartite_graph(el, 50));
+  EXPECT_EQ(c.size(), 50u);
+  EXPECT_TRUE(c.covers(el));
+}
+
+TEST(Konig, StarCoversWithCenter) {
+  // Star with center on the left: L = {0}, R = leaves.
+  EdgeList el(6);
+  for (VertexId v = 1; v < 6; ++v) el.add(0, v);
+  const VertexCover c = konig_min_vertex_cover(bipartite_graph(el, 1));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(ExactBnB, KnownValues) {
+  EXPECT_EQ(exact_min_vertex_cover_size(EdgeList(5)), 0u);
+  EXPECT_EQ(exact_min_vertex_cover_size(star(10)), 1u);
+  EXPECT_EQ(exact_min_vertex_cover_size(path(4)), 2u);  // e.g. {1, 3}
+}
+
+TEST(ExactBnB, PathAndCycleFormulae) {
+  // Path on n vertices: VC = floor(n/2). Cycle: ceil(n/2).
+  EXPECT_EQ(exact_min_vertex_cover_size(path(2)), 1u);
+  EXPECT_EQ(exact_min_vertex_cover_size(path(5)), 2u);
+  EXPECT_EQ(exact_min_vertex_cover_size(path(6)), 3u);
+  EXPECT_EQ(exact_min_vertex_cover_size(cycle(5)), 3u);
+  EXPECT_EQ(exact_min_vertex_cover_size(cycle(6)), 3u);
+  EXPECT_EQ(exact_min_vertex_cover_size(cycle(7)), 4u);
+}
+
+class ExactVsKonig : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsKonig, AgreeOnSmallBipartiteGraphs) {
+  Rng rng(GetParam());
+  const EdgeList el = random_bipartite(12, 12, 0.2, rng);
+  const std::size_t exact = exact_min_vertex_cover_size(el);
+  const std::size_t konig = konig_vc_size(bipartite_graph(el, 12));
+  EXPECT_EQ(exact, konig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsKonig, ::testing::Range(1, 21));
+
+TEST(ForestMinVc, StarTakesCenterWhenMultipleEdges) {
+  const VertexCover c = forest_min_vertex_cover(star(10), ForestTieBreak::kHighId);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(ForestMinVc, SingleEdgeTieBreak) {
+  EdgeList el(2);
+  el.add(0, 1);
+  EXPECT_TRUE(forest_min_vertex_cover(el, ForestTieBreak::kHighId).contains(1));
+  EXPECT_TRUE(forest_min_vertex_cover(el, ForestTieBreak::kLowId).contains(0));
+}
+
+TEST(ForestMinVc, PathIsOptimal) {
+  for (VertexId n : {2u, 3u, 4u, 5u, 8u, 13u}) {
+    const VertexCover c = forest_min_vertex_cover(path(n), ForestTieBreak::kLowId);
+    EXPECT_TRUE(c.covers(path(n)));
+    EXPECT_EQ(c.size(), exact_min_vertex_cover_size(path(n))) << n;
+  }
+}
+
+class ForestOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestOptimality, MatchesBranchAndBoundOnRandomForests) {
+  // Build a random forest: random parent links.
+  Rng rng(GetParam() + 50);
+  const VertexId n = 40;
+  EdgeList el(n);
+  for (VertexId v = 1; v < n; ++v) {
+    if (rng.bernoulli(0.85)) {
+      el.add(static_cast<VertexId>(rng.next_below(v)), v);
+    }
+  }
+  const VertexCover c = forest_min_vertex_cover(el, ForestTieBreak::kHighId);
+  EXPECT_TRUE(c.covers(el));
+  EXPECT_EQ(c.size(), exact_min_vertex_cover_size(el));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestOptimality, ::testing::Range(1, 16));
+
+TEST(ForestMinVcDeathTest, RejectsCycles) {
+  EXPECT_DEATH(forest_min_vertex_cover(cycle(4), ForestTieBreak::kLowId),
+               "RCC_CHECK");
+}
+
+}  // namespace
+}  // namespace rcc

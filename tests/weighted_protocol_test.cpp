@@ -1,0 +1,82 @@
+// Tests for the weighted matching simultaneous protocol.
+#include "distributed/weighted_matching_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+WeightedEdgeList random_weighted_bipartite(VertexId side, double p, double wmax,
+                                           Rng& rng) {
+  WeightedEdgeList w;
+  w.num_vertices = 2 * side;
+  for (VertexId u = 0; u < side; ++u) {
+    for (VertexId v = side; v < 2 * side; ++v) {
+      if (rng.bernoulli(p)) w.add(u, v, rng.uniform_real(1.0, wmax));
+    }
+  }
+  return w;
+}
+
+TEST(WeightedMatchingProtocol, ProducesValidMatchingWithAccounting) {
+  Rng rng(1);
+  const VertexId side = 300;
+  const WeightedEdgeList graph = random_weighted_bipartite(side, 0.05, 64.0, rng);
+  const WeightedMatchingProtocolResult r =
+      weighted_matching_protocol(graph, 6, side, rng);
+  EXPECT_TRUE(r.matching.valid());
+  EXPECT_GT(r.matching_weight, 0.0);
+  EXPECT_EQ(r.comm.per_machine.size(), 6u);
+  EXPECT_GT(r.comm.total_words(), 0u);
+  EXPECT_GE(r.max_classes_per_machine, 1u);
+  EXPECT_LE(r.max_classes_per_machine, 8u);  // log2(64) + rounding
+}
+
+TEST(WeightedMatchingProtocol, QualityVsCentralizedGreedy) {
+  Rng rng(2);
+  const VertexId side = 400;
+  const WeightedEdgeList graph = random_weighted_bipartite(side, 0.04, 128.0, rng);
+  const WeightedMatchingProtocolResult r =
+      weighted_matching_protocol(graph, 8, side, rng);
+  const double central = matching_weight(greedy_weighted_matching(graph), graph);
+  EXPECT_GE(r.matching_weight * 4.0, central);
+}
+
+TEST(WeightedMatchingProtocol, ParallelMatchesSequential) {
+  Rng gen(3);
+  const WeightedEdgeList graph = random_weighted_bipartite(250, 0.05, 32.0, gen);
+  ThreadPool pool(4);
+  Rng a(9), b(9);
+  const auto seq = weighted_matching_protocol(graph, 5, 250, a, nullptr);
+  const auto par = weighted_matching_protocol(graph, 5, 250, b, &pool);
+  EXPECT_DOUBLE_EQ(seq.matching_weight, par.matching_weight);
+  EXPECT_EQ(seq.comm.total_words(), par.comm.total_words());
+}
+
+TEST(WeightedMatchingProtocol, SingleMachineMatchesCentralizedCrouchStubbs) {
+  Rng rng(4);
+  const VertexId side = 200;
+  const WeightedEdgeList graph = random_weighted_bipartite(side, 0.06, 16.0, rng);
+  const WeightedMatchingProtocolResult r =
+      weighted_matching_protocol(graph, 1, side, rng);
+  const double central =
+      matching_weight(crouch_stubbs_matching(graph, side), graph);
+  // One machine = centralized Crouch-Stubbs up to the machine's own merge;
+  // allow small slack from the extra coordinator merge pass.
+  EXPECT_GE(r.matching_weight * 1.5, central);
+}
+
+TEST(WeightedMatchingProtocol, EmptyGraph) {
+  Rng rng(5);
+  WeightedEdgeList empty;
+  empty.num_vertices = 10;
+  const WeightedMatchingProtocolResult r =
+      weighted_matching_protocol(empty, 4, 0, rng);
+  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_DOUBLE_EQ(r.matching_weight, 0.0);
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,142 @@
+// Tests for weighted vertex cover: local-ratio baseline and the grouped
+// simultaneous protocol (the paper's Section 1.1 weighted extension).
+#include "vertex_cover/weighted_vc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distributed/weighted_vc_protocol.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+VertexWeights uniform_weights(VertexId n, double lo, double hi, Rng& rng) {
+  VertexWeights w(n);
+  for (auto& x : w) x = rng.uniform_real(lo, hi);
+  return w;
+}
+
+TEST(CoverWeight, Sums) {
+  VertexCover c(3);
+  c.insert(0);
+  c.insert(2);
+  EXPECT_DOUBLE_EQ(cover_weight(c, {1.5, 10.0, 2.5}), 4.0);
+}
+
+TEST(LocalRatio, CoversAndCertifies) {
+  Rng rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(120, 0.05, rng);
+    const VertexWeights w = uniform_weights(120, 0.5, 10.0, rng);
+    const WeightedVcResult r = local_ratio_weighted_vc(el, w);
+    EXPECT_TRUE(r.cover.covers(el));
+    // Primal-dual sandwich: lower_bound <= OPT <= cover cost <= 2 * LB.
+    const double cost = cover_weight(r.cover, w);
+    EXPECT_LE(cost, 2.0 * r.lower_bound + 1e-9);
+  }
+}
+
+TEST(LocalRatio, TwoApproxAgainstExactOnSmallInstances) {
+  Rng rng(2);
+  int tested = 0;
+  for (int rep = 0; rep < 40 && tested < 12; ++rep) {
+    const EdgeList el = gnp(12, 0.3, rng);
+    if (el.num_edges() == 0 || el.num_edges() > 30) continue;
+    ++tested;
+    const VertexWeights w = uniform_weights(12, 0.5, 5.0, rng);
+    const double opt = exact_weighted_vc_small(el, w);
+    const WeightedVcResult r = local_ratio_weighted_vc(el, w);
+    EXPECT_LE(cover_weight(r.cover, w), 2.0 * opt + 1e-9);
+    EXPECT_LE(r.lower_bound, opt + 1e-9);  // certificate is a true LB
+  }
+  EXPECT_GE(tested, 5);
+}
+
+TEST(LocalRatio, UnitWeightsMatchUnweightedBehaviour) {
+  // With unit weights local ratio degenerates to "take both endpoints of a
+  // maximal matching": size is even and a 2-approximation.
+  Rng rng(3);
+  const EdgeList el = gnp(100, 0.05, rng);
+  const VertexWeights w(100, 1.0);
+  const WeightedVcResult r = local_ratio_weighted_vc(el, w);
+  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_EQ(r.cover.size() % 2, 0u);
+}
+
+TEST(LocalRatio, PrefersLightVertices) {
+  // Star with an expensive center and cheap leaves: the optimal weighted
+  // cover is the leaves... unless the center is cheaper than their sum.
+  EdgeList el = star(5);  // center 0, leaves 1..4
+  VertexWeights w{100.0, 1.0, 1.0, 1.0, 1.0};
+  const WeightedVcResult r = local_ratio_weighted_vc(el, w);
+  EXPECT_TRUE(r.cover.covers(el));
+  // Optimal cover = the four leaves (cost 4); the 2-approx bound allows at
+  // most 8, which rules out grabbing the 100-weight center.
+  EXPECT_LE(cover_weight(r.cover, w), 8.0 + 1e-9);
+}
+
+TEST(GreedyWeightedVc, CoversOnRandomInstances) {
+  Rng rng(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    const EdgeList el = gnp(80, 0.08, rng);
+    const VertexWeights w = uniform_weights(80, 0.5, 10.0, rng);
+    const VertexCover c = greedy_weighted_vc(el, w);
+    EXPECT_TRUE(c.covers(el));
+  }
+}
+
+TEST(GreedyWeightedVc, TakesCheapCenterOfStar) {
+  EdgeList el = star(10);
+  VertexWeights w(10, 10.0);
+  w[0] = 1.0;
+  const VertexCover c = greedy_weighted_vc(el, w);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(ExactWeightedVc, KnownValues) {
+  EdgeList path3(3);
+  path3.add(0, 1);
+  path3.add(1, 2);
+  EXPECT_DOUBLE_EQ(exact_weighted_vc_small(path3, {5.0, 2.0, 5.0}), 2.0);
+  EXPECT_DOUBLE_EQ(exact_weighted_vc_small(path3, {1.0, 9.0, 1.0}), 2.0);
+}
+
+TEST(WeightedVcProtocol, FeasibleAndWeightAware) {
+  Rng rng(5);
+  const VertexId side = 2000;
+  const EdgeList el = random_bipartite(side, side, 4.0 / side, rng);
+  const VertexWeights w = uniform_weights(2 * side, 1.0, 64.0, rng);
+  const WeightedVcProtocolResult r = weighted_vc_protocol(el, w, 8, rng);
+  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_GT(r.weight_classes, 1u);
+  EXPECT_LE(r.weight_classes, 8u);  // log2(64) + 1 classes at most
+  // Sanity against the centralized local-ratio: within a generous factor.
+  const WeightedVcResult central = local_ratio_weighted_vc(el, w);
+  EXPECT_LE(r.cover_cost,
+            16.0 * cover_weight(central.cover, w) + 1e-9);
+}
+
+TEST(WeightedVcProtocol, UnitWeightsSingleClass) {
+  Rng rng(6);
+  const EdgeList el = gnp(1000, 6.0 / 1000, rng);
+  const VertexWeights w(1000, 2.0);
+  const WeightedVcProtocolResult r = weighted_vc_protocol(el, w, 4, rng);
+  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_EQ(r.weight_classes, 1u);
+}
+
+TEST(WeightedVcProtocol, ParallelMatchesSequential) {
+  Rng gen(7);
+  const EdgeList el = gnp(1500, 5.0 / 1500, gen);
+  const VertexWeights w = uniform_weights(1500, 1.0, 32.0, gen);
+  ThreadPool pool(4);
+  Rng a(11), b(11);
+  const WeightedVcProtocolResult seq = weighted_vc_protocol(el, w, 6, a, nullptr);
+  const WeightedVcProtocolResult par = weighted_vc_protocol(el, w, 6, b, &pool);
+  EXPECT_DOUBLE_EQ(seq.cover_cost, par.cover_cost);
+}
+
+}  // namespace
+}  // namespace rcc
