@@ -8,7 +8,7 @@
 
 namespace rcc {
 
-EdgeList spanning_forest(const EdgeList& edges) {
+EdgeList spanning_forest(EdgeSpan edges) {
   Dsu dsu(edges.num_vertices());
   EdgeList forest(edges.num_vertices());
   for (const Edge& e : edges) {
@@ -17,7 +17,7 @@ EdgeList spanning_forest(const EdgeList& edges) {
   return forest;
 }
 
-EdgeList SpanningForestCoreset::build(const EdgeList& piece,
+EdgeList SpanningForestCoreset::build(EdgeSpan piece,
                                       const PartitionContext& /*ctx*/,
                                       Rng& /*rng*/) const {
   return spanning_forest(piece);

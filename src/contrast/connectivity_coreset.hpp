@@ -16,7 +16,7 @@
 namespace rcc {
 
 /// A spanning forest of the graph (arbitrary one), <= n-1 edges.
-EdgeList spanning_forest(const EdgeList& edges);
+EdgeList spanning_forest(EdgeSpan edges);
 
 /// The classic composability fact, executable: a spanning forest of the
 /// union of per-piece spanning forests spans the union. This coreset works
@@ -25,7 +25,7 @@ class SpanningForestCoreset final : public MatchingCoreset {
   // Reuses the MatchingCoreset interface shape (piece -> subgraph summary);
   // the composition target is connectivity, not matching.
  public:
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "spanning-forest"; }
 };

@@ -4,7 +4,7 @@
 
 namespace rcc {
 
-EdgeList HubAdversarialMaximalCoreset::build(const EdgeList& piece,
+EdgeList HubAdversarialMaximalCoreset::build(EdgeSpan piece,
                                              const PartitionContext& /*ctx*/,
                                              Rng& /*rng*/) const {
   // Locally visible: which planted pairs (a_i, b_i) live in this piece.

@@ -25,7 +25,7 @@ class HubAdversarialMaximalCoreset final : public MatchingCoreset {
   explicit HubAdversarialMaximalCoreset(const HubGadget& gadget)
       : n_(gadget.n), hubs_(gadget.hubs) {}
 
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "adversarial-maximal-matching"; }
 

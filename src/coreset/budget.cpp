@@ -15,7 +15,7 @@ const char* budget_policy_name(BudgetPolicy p) {
   return "?";
 }
 
-EdgeList truncate_to_budget(const EdgeList& summary, const EdgeList& piece,
+EdgeList truncate_to_budget(const EdgeList& summary, EdgeSpan piece,
                             std::size_t budget, BudgetPolicy policy, Rng& rng) {
   if (summary.num_edges() <= budget) return summary;
   switch (policy) {
@@ -47,7 +47,7 @@ EdgeList truncate_to_budget(const EdgeList& summary, const EdgeList& piece,
   return summary;  // unreachable
 }
 
-EdgeList BudgetedMatchingCoreset::build(const EdgeList& piece,
+EdgeList BudgetedMatchingCoreset::build(EdgeSpan piece,
                                         const PartitionContext& ctx,
                                         Rng& rng) const {
   const EdgeList full = inner_->build(piece, ctx, rng);

@@ -29,7 +29,7 @@ const char* budget_policy_name(BudgetPolicy p);
 /// Truncates `summary` to at most `budget` edges. Degree policies rank an
 /// edge by deg(u) + deg(v) in the machine's *own piece* (local information
 /// only, as the model demands).
-EdgeList truncate_to_budget(const EdgeList& summary, const EdgeList& piece,
+EdgeList truncate_to_budget(const EdgeList& summary, EdgeSpan piece,
                             std::size_t budget, BudgetPolicy policy, Rng& rng);
 
 /// A MatchingCoreset that wraps another and truncates its output.
@@ -39,7 +39,7 @@ class BudgetedMatchingCoreset final : public MatchingCoreset {
                           std::size_t budget, BudgetPolicy policy)
       : inner_(std::move(inner)), budget_(budget), policy_(policy) {}
 
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override;
 

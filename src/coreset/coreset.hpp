@@ -30,14 +30,17 @@ struct VcCoresetOutput {
   }
 };
 
-/// Strategy interface: matching coresets emit a subgraph.
+/// Strategy interface: matching coresets emit a subgraph. Pieces arrive as
+/// EdgeSpan views — shards of the protocol engine's edge arena (or whole
+/// EdgeLists via the implicit conversion) — so building a summary never
+/// copies the machine's input.
 class MatchingCoreset {
  public:
   virtual ~MatchingCoreset() = default;
 
   /// Builds the summary for one piece. `ctx` carries the only global
   /// knowledge machines have (n, k, own index, bipartition boundary).
-  virtual EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  virtual EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                          Rng& rng) const = 0;
 
   virtual std::string name() const = 0;
@@ -49,8 +52,8 @@ class VertexCoverCoreset {
  public:
   virtual ~VertexCoverCoreset() = default;
 
-  virtual VcCoresetOutput build(const EdgeList& piece,
-                                const PartitionContext& ctx, Rng& rng) const = 0;
+  virtual VcCoresetOutput build(EdgeSpan piece, const PartitionContext& ctx,
+                                Rng& rng) const = 0;
 
   virtual std::string name() const = 0;
 };

@@ -2,7 +2,7 @@
 
 namespace rcc {
 
-EdgeList vertex_cap_kernel(const EdgeList& edges, VertexId cap) {
+EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap) {
   std::vector<VertexId> kept(edges.num_vertices(), 0);
   EdgeList out(edges.num_vertices());
   for (const Edge& e : edges) {
@@ -15,7 +15,7 @@ EdgeList vertex_cap_kernel(const EdgeList& edges, VertexId cap) {
   return out;
 }
 
-EdgeList KernelMatchingCoreset::build(const EdgeList& piece,
+EdgeList KernelMatchingCoreset::build(EdgeSpan piece,
                                       const PartitionContext& /*ctx*/,
                                       Rng& /*rng*/) const {
   return vertex_cap_kernel(piece, cap_);

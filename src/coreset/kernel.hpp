@@ -22,7 +22,7 @@ namespace rcc {
 /// Keeps at most `cap` incident edges per vertex (first-seen order).
 /// Preserves MM exactly when MM(G) <= cap; see kernel tests for the
 /// property sweep.
-EdgeList vertex_cap_kernel(const EdgeList& edges, VertexId cap);
+EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap);
 
 /// Matching coreset that sends the degree-capped kernel of the piece.
 class KernelMatchingCoreset final : public MatchingCoreset {
@@ -31,7 +31,7 @@ class KernelMatchingCoreset final : public MatchingCoreset {
     RCC_CHECK(cap >= 1);
   }
 
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override;
 

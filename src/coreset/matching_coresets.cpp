@@ -4,13 +4,13 @@
 
 namespace rcc {
 
-EdgeList MaximumMatchingCoreset::build(const EdgeList& piece,
+EdgeList MaximumMatchingCoreset::build(EdgeSpan piece,
                                        const PartitionContext& ctx,
                                        Rng& /*rng*/) const {
   return maximum_matching(piece, ctx.left_size).to_edge_list();
 }
 
-EdgeList MaximalMatchingCoreset::build(const EdgeList& piece,
+EdgeList MaximalMatchingCoreset::build(EdgeSpan piece,
                                        const PartitionContext& /*ctx*/,
                                        Rng& rng) const {
   const Matching m = key_ ? greedy_maximal_matching_by(piece, key_)
@@ -18,7 +18,7 @@ EdgeList MaximalMatchingCoreset::build(const EdgeList& piece,
   return m.to_edge_list();
 }
 
-EdgeList SubsampledMatchingCoreset::build(const EdgeList& piece,
+EdgeList SubsampledMatchingCoreset::build(EdgeSpan piece,
                                           const PartitionContext& ctx,
                                           Rng& rng) const {
   const EdgeList mm = maximum_matching(piece, ctx.left_size).to_edge_list();

@@ -19,7 +19,7 @@ namespace rcc {
 
 class MaximumMatchingCoreset final : public MatchingCoreset {
  public:
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "maximum-matching"; }
 };
@@ -35,7 +35,7 @@ class MaximalMatchingCoreset final : public MatchingCoreset {
   explicit MaximalMatchingCoreset(std::function<double(const Edge&)> key)
       : key_(std::move(key)) {}
 
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "maximal-matching"; }
 
@@ -51,7 +51,7 @@ class SubsampledMatchingCoreset final : public MatchingCoreset {
     RCC_CHECK(alpha >= 1.0);
   }
 
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "subsampled-maximum-matching"; }
 

@@ -6,7 +6,7 @@
 
 namespace rcc {
 
-EdgeList MixedMaximumMatchingCoreset::build(const EdgeList& piece,
+EdgeList MixedMaximumMatchingCoreset::build(EdgeSpan piece,
                                             const PartitionContext& ctx,
                                             Rng& rng) const {
   switch (ctx.machine_index % 3) {

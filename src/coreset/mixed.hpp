@@ -16,7 +16,7 @@ namespace rcc {
 
 class MixedMaximumMatchingCoreset final : public MatchingCoreset {
  public:
-  EdgeList build(const EdgeList& piece, const PartitionContext& ctx,
+  EdgeList build(EdgeSpan piece, const PartitionContext& ctx,
                  Rng& rng) const override;
   std::string name() const override { return "mixed-maximum-matching"; }
 };

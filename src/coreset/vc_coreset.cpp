@@ -14,7 +14,7 @@ int PeelingVcCoreset::num_levels(VertexId n, std::size_t k) {
   return delta;
 }
 
-VcCoresetOutput PeelingVcCoreset::build(const EdgeList& piece,
+VcCoresetOutput PeelingVcCoreset::build(EdgeSpan piece,
                                         const PartitionContext& ctx,
                                         Rng& /*rng*/) const {
   const double n = std::max<double>(ctx.num_vertices, 2);
@@ -22,25 +22,34 @@ VcCoresetOutput PeelingVcCoreset::build(const EdgeList& piece,
   const int delta = num_levels(ctx.num_vertices, ctx.k);
 
   VcCoresetOutput out;
+  if (delta <= 1) {
+    // No peeling levels: the whole piece is the residual summary.
+    out.residual_edges = piece.to_edge_list();
+    return out;
+  }
   std::vector<bool> removed(piece.num_vertices(), false);
-  EdgeList current = piece;
+  // Level 1 reads the span in place; only the (shrinking) survivor set is
+  // ever materialized, so the machine never copies its input piece.
+  EdgeList current(piece.num_vertices());
   for (int j = 1; j <= delta - 1; ++j) {
     const double thr = n / (k * std::exp2(j + 1));
-    const auto deg = current.degrees();
+    const auto deg = j == 1 ? piece.degrees() : current.degrees();
     for (VertexId v = 0; v < piece.num_vertices(); ++v) {
       if (!removed[v] && static_cast<double>(deg[v]) >= thr) {
         removed[v] = true;
         out.fixed_vertices.push_back(v);
       }
     }
-    current = current.filter(
-        [&](const Edge& e) { return !removed[e.u] && !removed[e.v]; });
+    const auto survives = [&](const Edge& e) {
+      return !removed[e.u] && !removed[e.v];
+    };
+    current = j == 1 ? piece.filter(survives) : current.filter(survives);
   }
   out.residual_edges = std::move(current);
   return out;
 }
 
-VcCoresetOutput MinVcOfPieceCoreset::build(const EdgeList& piece,
+VcCoresetOutput MinVcOfPieceCoreset::build(EdgeSpan piece,
                                            const PartitionContext& /*ctx*/,
                                            Rng& /*rng*/) const {
   VcCoresetOutput out;

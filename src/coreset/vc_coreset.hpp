@@ -22,7 +22,7 @@ namespace rcc {
 /// are insensitive to the base.
 class PeelingVcCoreset final : public VertexCoverCoreset {
  public:
-  VcCoresetOutput build(const EdgeList& piece, const PartitionContext& ctx,
+  VcCoresetOutput build(EdgeSpan piece, const PartitionContext& ctx,
                         Rng& rng) const override;
   std::string name() const override { return "peeling-vc"; }
 
@@ -41,7 +41,7 @@ class MinVcOfPieceCoreset final : public VertexCoverCoreset {
   explicit MinVcOfPieceCoreset(ForestTieBreak tie = ForestTieBreak::kHighId)
       : tie_(tie) {}
 
-  VcCoresetOutput build(const EdgeList& piece, const PartitionContext& ctx,
+  VcCoresetOutput build(EdgeSpan piece, const PartitionContext& ctx,
                         Rng& rng) const override;
   std::string name() const override { return "min-vc-of-piece"; }
 

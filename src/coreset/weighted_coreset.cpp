@@ -6,16 +6,16 @@
 
 namespace rcc {
 
-WeightedCoresetOutput crouch_stubbs_coreset(const WeightedEdgeList& piece,
+WeightedCoresetOutput crouch_stubbs_coreset(WeightedEdgeSpan piece,
                                             const PartitionContext& ctx,
                                             double class_base) {
   WeightedCoresetOutput out;
-  out.edges.num_vertices = piece.num_vertices;
+  out.edges.num_vertices = piece.num_vertices();
 
   // Weight lookup so matched class edges can be re-emitted with weights.
   std::unordered_map<Edge, double, EdgeHash> weight_of;
-  weight_of.reserve(piece.edges.size() * 2);
-  for (const WeightedEdge& we : piece.edges) {
+  weight_of.reserve(piece.num_edges() * 2);
+  for (const WeightedEdge& we : piece) {
     auto [it, inserted] = weight_of.try_emplace(we.edge(), we.weight);
     if (!inserted && we.weight > it->second) it->second = we.weight;
   }

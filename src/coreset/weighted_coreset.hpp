@@ -23,8 +23,9 @@ struct WeightedCoresetOutput {
   std::size_t size_items() const { return edges.edges.size(); }
 };
 
-/// Builds the Crouch-Stubbs coreset of one weighted piece.
-WeightedCoresetOutput crouch_stubbs_coreset(const WeightedEdgeList& piece,
+/// Builds the Crouch-Stubbs coreset of one weighted piece (a shard of the
+/// engine's weighted-edge arena, or a whole WeightedEdgeList — no copy).
+WeightedCoresetOutput crouch_stubbs_coreset(WeightedEdgeSpan piece,
                                             const PartitionContext& ctx,
                                             double class_base = 2.0);
 

@@ -1,56 +1,72 @@
 #include "distributed/protocol.hpp"
 
-#include "partition/partition.hpp"
-#include "util/timer.hpp"
-
 namespace rcc {
 
 namespace {
 
-/// Runs fn(machine_index, machine_rng) for every machine, in parallel when a
-/// pool is provided. RNG streams are forked up front so the outcome does not
-/// depend on thread scheduling.
-void run_machines(std::size_t k, Rng& rng, ThreadPool* pool,
-                  const std::function<void(std::size_t, Rng&)>& fn) {
-  std::vector<Rng> machine_rngs;
-  machine_rngs.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
-  if (pool != nullptr) {
-    parallel_for(*pool, k, [&](std::size_t i) { fn(i, machine_rngs[i]); });
-  } else {
-    for (std::size_t i = 0; i < k; ++i) fn(i, machine_rngs[i]);
+/// The engine lambdas shared by the matching entry points.
+struct MatchingPhases {
+  const MatchingCoreset& coreset;
+  ComposeSolver solver;
+  VertexId left_size;
+
+  auto build() const {
+    return [this](EdgeSpan piece, const PartitionContext& ctx,
+                  Rng& machine_rng) {
+      return coreset.build(piece, ctx, machine_rng);
+    };
   }
+  static MessageSize account(const EdgeList& summary) {
+    return MessageSize{summary.num_edges(), 0};
+  }
+  auto combine() const {
+    return [this](std::vector<EdgeList>& summaries, Rng& coordinator_rng) {
+      return compose_matching_coresets(summaries, solver, left_size,
+                                       coordinator_rng);
+    };
+  }
+};
+
+MatchingProtocolResult to_legacy(ProtocolResult<Matching, EdgeList>&& r) {
+  MatchingProtocolResult out;
+  out.matching = std::move(r.solution);
+  out.comm = std::move(r.comm);
+  out.timing = r.timing;
+  out.summaries = std::move(r.summaries);
+  return out;
+}
+
+/// The engine lambdas shared by the vertex cover entry points.
+struct VcPhases {
+  const VertexCoverCoreset& coreset;
+
+  auto build() const {
+    return [this](EdgeSpan piece, const PartitionContext& ctx,
+                  Rng& machine_rng) {
+      return coreset.build(piece, ctx, machine_rng);
+    };
+  }
+  static MessageSize account(const VcCoresetOutput& summary) {
+    return MessageSize{summary.residual_edges.num_edges(),
+                       summary.fixed_vertices.size()};
+  }
+  static auto combine(VertexId num_vertices) {
+    return [num_vertices](std::vector<VcCoresetOutput>& summaries,
+                          Rng& coordinator_rng) {
+      return compose_vc_coresets(summaries, num_vertices, coordinator_rng);
+    };
+  }
+};
+
+VcProtocolResult to_legacy(ProtocolResult<VertexCover, VcCoresetOutput>&& r) {
+  VcProtocolResult out;
+  out.cover = std::move(r.solution);
+  out.comm = std::move(r.comm);
+  out.timing = r.timing;
+  return out;
 }
 
 }  // namespace
-
-MatchingProtocolResult run_matching_protocol_on_partition(
-    const std::vector<EdgeList>& pieces, const MatchingCoreset& coreset,
-    ComposeSolver solver, VertexId left_size, Rng& rng, ThreadPool* pool) {
-  MatchingProtocolResult result;
-  const std::size_t k = pieces.size();
-  RCC_CHECK(k >= 1);
-  const VertexId n = pieces.front().num_vertices();
-
-  WallTimer timer;
-  result.summaries.assign(k, EdgeList(n));
-  run_machines(k, rng, pool, [&](std::size_t i, Rng& machine_rng) {
-    PartitionContext ctx{n, k, i, left_size};
-    result.summaries[i] = coreset.build(pieces[i], ctx, machine_rng);
-  });
-  result.timing.summaries_seconds = timer.seconds();
-
-  result.comm.per_machine.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    result.comm.per_machine[i].edges = result.summaries[i].num_edges();
-  }
-
-  timer.reset();
-  result.matching =
-      compose_matching_coresets(result.summaries, solver, left_size, rng);
-  result.timing.combine_seconds = timer.seconds();
-  return result;
-}
 
 MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
                                              std::size_t k,
@@ -58,52 +74,38 @@ MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
                                              ComposeSolver solver,
                                              VertexId left_size, Rng& rng,
                                              ThreadPool* pool) {
-  WallTimer timer;
-  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
-  const double partition_seconds = timer.seconds();
-  MatchingProtocolResult result = run_matching_protocol_on_partition(
-      pieces, coreset, solver, left_size, rng, pool);
-  result.timing.partition_seconds = partition_seconds;
-  return result;
+  const MatchingPhases phases{coreset, solver, left_size};
+  return to_legacy(run_protocol(graph, k, left_size, rng, pool, phases.build(),
+                                &MatchingPhases::account, phases.combine()));
 }
 
-VcProtocolResult run_vc_protocol_on_partition(
-    const std::vector<EdgeList>& pieces, const VertexCoverCoreset& coreset,
-    VertexId num_vertices, Rng& rng, ThreadPool* pool) {
-  VcProtocolResult result;
-  const std::size_t k = pieces.size();
-  RCC_CHECK(k >= 1);
-
-  WallTimer timer;
-  std::vector<VcCoresetOutput> summaries(k);
-  run_machines(k, rng, pool, [&](std::size_t i, Rng& machine_rng) {
-    PartitionContext ctx{num_vertices, k, i, 0};
-    summaries[i] = coreset.build(pieces[i], ctx, machine_rng);
-  });
-  result.timing.summaries_seconds = timer.seconds();
-
-  result.comm.per_machine.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    result.comm.per_machine[i].edges = summaries[i].residual_edges.num_edges();
-    result.comm.per_machine[i].vertices = summaries[i].fixed_vertices.size();
-  }
-
-  timer.reset();
-  result.cover = compose_vc_coresets(summaries, num_vertices, rng);
-  result.timing.combine_seconds = timer.seconds();
-  return result;
+MatchingProtocolResult run_matching_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const MatchingCoreset& coreset,
+    ComposeSolver solver, VertexId left_size, Rng& rng, ThreadPool* pool) {
+  RCC_CHECK(!pieces.empty());
+  const MatchingPhases phases{coreset, solver, left_size};
+  return to_legacy(run_protocol_on_pieces<Edge>(
+      pieces_of(pieces), pieces.front().num_vertices(), left_size, rng, pool,
+      phases.build(), &MatchingPhases::account, phases.combine()));
 }
 
 VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
                                  const VertexCoverCoreset& coreset, Rng& rng,
                                  ThreadPool* pool) {
-  WallTimer timer;
-  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
-  const double partition_seconds = timer.seconds();
-  VcProtocolResult result = run_vc_protocol_on_partition(
-      pieces, coreset, graph.num_vertices(), rng, pool);
-  result.timing.partition_seconds = partition_seconds;
-  return result;
+  const VcPhases phases{coreset};
+  return to_legacy(run_protocol(graph, k, /*left_size=*/0, rng, pool,
+                                phases.build(), &VcPhases::account,
+                                VcPhases::combine(graph.num_vertices())));
+}
+
+VcProtocolResult run_vc_protocol_on_partition(
+    const std::vector<EdgeList>& pieces, const VertexCoverCoreset& coreset,
+    VertexId num_vertices, Rng& rng, ThreadPool* pool) {
+  RCC_CHECK(!pieces.empty());
+  const VcPhases phases{coreset};
+  return to_legacy(run_protocol_on_pieces<Edge>(
+      pieces_of(pieces), num_vertices, /*left_size=*/0, rng, pool,
+      phases.build(), &VcPhases::account, VcPhases::combine(num_vertices)));
 }
 
 }  // namespace rcc

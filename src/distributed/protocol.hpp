@@ -1,9 +1,10 @@
-// The simultaneous protocol engine for the coordinator model.
+// Legacy-shaped entry points for the simultaneous coordinator model.
 //
-// One run = random k-partitioning -> every machine builds its summary
-// simultaneously (thread pool; one task per machine; independent forked RNG
-// streams so results are deterministic regardless of scheduling) -> the
-// coordinator combines the summaries with no further interaction.
+// These are thin wrappers over the unified ProtocolEngine
+// (protocol_engine.hpp): one run = sharded random partition into a flat
+// edge arena -> every machine builds its summary from its zero-copy shard
+// (thread pool; one task per machine; independent forked RNG streams) ->
+// the coordinator combines the summaries with no further interaction.
 #pragma once
 
 #include <vector>
@@ -11,17 +12,12 @@
 #include "coreset/compose.hpp"
 #include "coreset/coreset.hpp"
 #include "distributed/message.hpp"
+#include "distributed/protocol_engine.hpp"
 #include "matching/matching.hpp"
 #include "util/thread_pool.hpp"
 #include "vertex_cover/vertex_cover.hpp"
 
 namespace rcc {
-
-struct ProtocolTiming {
-  double partition_seconds = 0.0;
-  double summaries_seconds = 0.0;  // wall time of the parallel machine phase
-  double combine_seconds = 0.0;
-};
 
 struct MatchingProtocolResult {
   Matching matching;

@@ -1,0 +1,171 @@
+// The unified simultaneous-protocol engine (coordinator model, Section 2).
+//
+// Every protocol in this library — unweighted/weighted matching,
+// unweighted/weighted/grouped vertex cover, and the MPC simulation's
+// coreset round — is one instance of the same three-phase pipeline:
+//
+//   partition  — the sharded partitioner scatters the input into one flat
+//                edge arena with a per-machine offset index (zero-copy
+//                pieces; see partition/sharded_partition.hpp),
+//   machines   — every machine builds its summary from its arena shard,
+//                one task per machine on the thread pool, each with an
+//                up-front forked RNG stream so results are independent of
+//                thread scheduling,
+//   combine    — the coordinator folds the k summaries into a solution
+//                (matching solver / VC union / weighted merge — pluggable).
+//
+// The engine is generic over the edge payload (Edge / WeightedEdge), the
+// summary type, and the three phase callables, and returns a unified
+// ProtocolResult carrying the solution, the retained summaries, word-exact
+// communication stats, and per-phase wall timings. The legacy entry points
+// in protocol.hpp / protocols.hpp / weighted_*_protocol.hpp are thin
+// wrappers over run_protocol / run_protocol_on_pieces.
+//
+// Adding a protocol variant means writing three lambdas — see the wrappers
+// in protocol.cpp for the pattern; no new driver loop, accounting, or
+// timing code.
+#pragma once
+
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "distributed/message.hpp"
+#include "partition/partition.hpp"
+#include "partition/sharded_partition.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rcc {
+
+/// Wall time of each engine phase.
+struct ProtocolTiming {
+  double partition_seconds = 0.0;
+  double summaries_seconds = 0.0;  // wall time of the parallel machine phase
+  double combine_seconds = 0.0;
+};
+
+/// What every protocol run returns: the coordinator's solution, the machine
+/// summaries (retained for probes and experiments), the communication
+/// ledger, and per-phase timings.
+template <typename Solution, typename Summary>
+struct ProtocolResult {
+  Solution solution;
+  std::vector<Summary> summaries;
+  CommStats comm;
+  ProtocolTiming timing;
+};
+
+/// Machine + combine phases over pre-made pieces (arena shards, or any
+/// contiguous edge storage — experiments use this to contrast random vs
+/// adversarial partitionings on identical edges).
+///
+///   build(piece, ctx, machine_rng) -> Summary   one machine's summary,
+///       where piece is the typed view (EdgeSpan / WeightedEdgeSpan) over
+///       the machine's shard
+///   account(summary)               -> MessageSize   word-exact message cost
+///   combine(summaries, rng)        -> Solution   the coordinator phase
+template <typename EdgeT, typename Build, typename Account, typename Combine>
+auto run_protocol_on_pieces(const std::vector<std::span<const EdgeT>>& pieces,
+                            VertexId num_vertices, VertexId left_size, Rng& rng,
+                            ThreadPool* pool, const Build& build,
+                            const Account& account, const Combine& combine) {
+  using View = typename EdgeViewOf<EdgeT>::type;
+  using Summary = std::decay_t<std::invoke_result_t<
+      const Build&, View, const PartitionContext&, Rng&>>;
+  using Solution = std::decay_t<
+      std::invoke_result_t<const Combine&, std::vector<Summary>&, Rng&>>;
+
+  const std::size_t k = pieces.size();
+  RCC_CHECK(k >= 1);
+  ProtocolResult<Solution, Summary> result;
+
+  // Machine phase. RNG streams are forked up front so the outcome does not
+  // depend on thread scheduling.
+  WallTimer timer;
+  std::vector<Rng> machine_rngs;
+  machine_rngs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
+  result.summaries.resize(k);
+  const auto machine_work = [&](std::size_t i) {
+    const PartitionContext ctx{num_vertices, k, i, left_size};
+    const View piece(pieces[i].data(), pieces[i].size(), num_vertices);
+    result.summaries[i] = build(piece, ctx, machine_rngs[i]);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, k, machine_work);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) machine_work(i);
+  }
+  result.timing.summaries_seconds = timer.seconds();
+
+  result.comm.per_machine.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.comm.per_machine[i] = account(result.summaries[i]);
+  }
+
+  timer.reset();
+  result.solution = combine(result.summaries, rng);
+  result.timing.combine_seconds = timer.seconds();
+  return result;
+}
+
+/// The full pipeline: sharded random partition, then machines + combine.
+/// The partition and machine phases both run on `pool` when provided.
+template <typename EdgeT, typename Build, typename Account, typename Combine>
+auto run_protocol(std::span<const EdgeT> edges, VertexId num_vertices,
+                  std::size_t k, VertexId left_size, Rng& rng, ThreadPool* pool,
+                  const Build& build, const Account& account,
+                  const Combine& combine) {
+  WallTimer timer;
+  const ShardedPartition<EdgeT> parts(edges, num_vertices, k, rng, pool);
+  const double partition_seconds = timer.seconds();
+
+  std::vector<std::span<const EdgeT>> pieces;
+  pieces.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) pieces.push_back(parts.shard(i));
+  auto result = run_protocol_on_pieces<EdgeT>(pieces, num_vertices, left_size,
+                                              rng, pool, build, account, combine);
+  result.timing.partition_seconds = partition_seconds;
+  return result;
+}
+
+/// Whole-graph conveniences: run the full pipeline straight off an owning
+/// edge list (the common entry-point shape) without each caller spelling
+/// out the raw span plumbing.
+template <typename Build, typename Account, typename Combine>
+auto run_protocol(const EdgeList& graph, std::size_t k, VertexId left_size,
+                  Rng& rng, ThreadPool* pool, const Build& build,
+                  const Account& account, const Combine& combine) {
+  return run_protocol<Edge>(
+      std::span<const Edge>(graph.edges().data(), graph.num_edges()),
+      graph.num_vertices(), k, left_size, rng, pool, build, account, combine);
+}
+
+template <typename Build, typename Account, typename Combine>
+auto run_protocol(const WeightedEdgeList& graph, std::size_t k,
+                  VertexId left_size, Rng& rng, ThreadPool* pool,
+                  const Build& build, const Account& account,
+                  const Combine& combine) {
+  return run_protocol<WeightedEdge>(
+      std::span<const WeightedEdge>(graph.edges.data(), graph.edges.size()),
+      graph.num_vertices, k, left_size, rng, pool, build, account, combine);
+}
+
+/// Adapts a vector of owning edge lists into engine pieces (zero-copy views;
+/// the lists must outlive the call). All pieces must share one vertex
+/// universe — the engine rebuilds each view with the caller's num_vertices,
+/// so a divergent piece would silently have its universe overridden.
+inline std::vector<std::span<const Edge>> pieces_of(
+    const std::vector<EdgeList>& lists) {
+  std::vector<std::span<const Edge>> pieces;
+  pieces.reserve(lists.size());
+  for (const EdgeList& l : lists) {
+    RCC_CHECK(l.num_vertices() == lists.front().num_vertices());
+    pieces.emplace_back(l.edges().data(), l.num_edges());
+  }
+  return pieces;
+}
+
+}  // namespace rcc

@@ -4,8 +4,6 @@
 
 #include "coreset/matching_coresets.hpp"
 #include "coreset/vc_coreset.hpp"
-#include "partition/partition.hpp"
-#include "util/timer.hpp"
 
 namespace rcc {
 
@@ -33,6 +31,17 @@ VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
   return run_vc_protocol(graph, k, coreset, rng, pool);
 }
 
+namespace {
+
+/// One machine's message in the grouped protocol: the Theorem 2 summary on
+/// the contracted multigraph, plus the groups the machine pinned locally.
+struct GroupedVcSummary {
+  VcCoresetOutput core;
+  std::vector<VertexId> pinned_groups;
+};
+
+}  // namespace
+
 VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
                                      double alpha, Rng& rng, ThreadPool* pool) {
   const VertexId n = graph.num_vertices();
@@ -40,64 +49,76 @@ VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
   const VertexId g = static_cast<VertexId>(
       std::max(1.0, std::floor(alpha / log_n)));
   const VertexId n_groups = (n + g - 1) / g;
+  const PeelingVcCoreset coreset;
 
-  WallTimer timer;
-  const std::vector<EdgeList> pieces = random_partition(graph, k, rng);
-  const double partition_seconds = timer.seconds();
-
-  // Machine-local contraction. Edges internal to a group cannot survive the
-  // contraction (they would be self-loops); the machine pins those groups
-  // into its fixed solution instead, which is sound because the expansion of
-  // the group contains both endpoints.
-  std::vector<EdgeList> contracted(k, EdgeList(n_groups));
-  std::vector<std::vector<VertexId>> pinned_groups(k);
-  for (std::size_t i = 0; i < k; ++i) {
+  // Machine phase: contract the shard onto the group universe, then run the
+  // Theorem 2 coreset on the contracted multigraph. Edges internal to a
+  // group cannot survive the contraction (they would be self-loops); the
+  // machine pins those groups into its fixed solution instead, which is
+  // sound because the expansion of the group contains both endpoints.
+  const auto build = [&](EdgeSpan shard, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    GroupedVcSummary summary;
     std::vector<bool> pinned(n_groups, false);
-    for (const Edge& e : pieces[i]) {
+    EdgeList contracted(n_groups);
+    for (const Edge& e : shard) {
       const VertexId gu = e.u / g;
       const VertexId gv = e.v / g;
       if (gu == gv) {
         if (!pinned[gu]) {
           pinned[gu] = true;
-          pinned_groups[i].push_back(gu);
+          summary.pinned_groups.push_back(gu);
         }
       } else {
-        contracted[i].add(gu, gv);  // multigraph: parallel edges preserved
+        contracted.add(gu, gv);  // multigraph: parallel edges preserved
       }
     }
     // Edges incident to a pinned group are already covered locally.
-    contracted[i] = contracted[i].filter(
+    contracted = contracted.filter(
         [&](const Edge& e) { return !pinned[e.u] && !pinned[e.v]; });
-  }
-
-  const PeelingVcCoreset coreset;
-  VcProtocolResult grouped = run_vc_protocol_on_partition(
-      contracted, coreset, n_groups, rng, pool);
-  grouped.timing.partition_seconds = partition_seconds;
-
-  // Account the pinned groups as part of each machine's message.
-  for (std::size_t i = 0; i < k; ++i) {
-    grouped.comm.per_machine[i].vertices += pinned_groups[i].size();
-  }
-
-  // Expand group cover back to original vertices.
-  VertexCover expanded(n);
-  auto expand_group = [&](VertexId group) {
-    const VertexId begin = group * g;
-    const VertexId end = std::min<VertexId>(begin + g, n);
-    for (VertexId v = begin; v < end; ++v) expanded.insert(v);
+    const PartitionContext group_ctx{n_groups, ctx.k, ctx.machine_index, 0};
+    summary.core = coreset.build(contracted, group_ctx, machine_rng);
+    return summary;
   };
-  for (VertexId group = 0; group < n_groups; ++group) {
-    if (grouped.cover.contains(group)) expand_group(group);
-  }
-  for (std::size_t i = 0; i < k; ++i) {
-    for (VertexId group : pinned_groups[i]) expand_group(group);
-  }
+
+  // The pinned groups travel in the message alongside the summary.
+  const auto account = [](const GroupedVcSummary& s) {
+    return MessageSize{s.core.residual_edges.num_edges(),
+                       s.core.fixed_vertices.size() + s.pinned_groups.size()};
+  };
+
+  // Coordinator: compose the group-universe coresets, then expand the group
+  // cover (and every pinned group) back to original vertices.
+  const auto combine = [&](std::vector<GroupedVcSummary>& summaries,
+                           Rng& coordinator_rng) {
+    std::vector<VcCoresetOutput> cores;
+    cores.reserve(summaries.size());
+    for (GroupedVcSummary& s : summaries) cores.push_back(std::move(s.core));
+    const VertexCover group_cover =
+        compose_vc_coresets(cores, n_groups, coordinator_rng);
+
+    VertexCover expanded(n);
+    const auto expand_group = [&](VertexId group) {
+      const VertexId begin = group * g;
+      const VertexId end = std::min<VertexId>(begin + g, n);
+      for (VertexId v = begin; v < end; ++v) expanded.insert(v);
+    };
+    for (VertexId group = 0; group < n_groups; ++group) {
+      if (group_cover.contains(group)) expand_group(group);
+    }
+    for (const GroupedVcSummary& s : summaries) {
+      for (VertexId group : s.pinned_groups) expand_group(group);
+    }
+    return expanded;
+  };
+
+  auto engine_result = run_protocol(graph, k, /*left_size=*/0, rng, pool,
+                                    build, account, combine);
 
   VcProtocolResult result;
-  result.cover = std::move(expanded);
-  result.comm = std::move(grouped.comm);
-  result.timing = grouped.timing;
+  result.cover = std::move(engine_result.solution);
+  result.comm = std::move(engine_result.comm);
+  result.timing = engine_result.timing;
   RCC_CHECK(result.cover.covers(graph));
   return result;
 }

@@ -1,45 +1,39 @@
 #include "distributed/weighted_matching_protocol.hpp"
 
 #include "matching/weighted.hpp"
-#include "partition/partition.hpp"
 
 namespace rcc {
 
 WeightedMatchingProtocolResult weighted_matching_protocol(
     const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool, double class_base) {
-  WeightedMatchingProtocolResult result;
-  const auto pieces = random_partition_weighted(graph, k, rng);
-
-  std::vector<WeightedCoresetOutput> summaries(k);
-  std::vector<Rng> machine_rngs;
-  machine_rngs.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
-
-  auto machine_work = [&](std::size_t i) {
-    PartitionContext ctx{graph.num_vertices, k, i, left_size};
-    summaries[i] = crouch_stubbs_coreset(pieces[i], ctx, class_base);
+  const auto build = [&](WeightedEdgeSpan piece, const PartitionContext& ctx,
+                         Rng& /*machine_rng*/) {
+    return crouch_stubbs_coreset(piece, ctx, class_base);
   };
-  if (pool != nullptr) {
-    parallel_for(*pool, k, machine_work);
-  } else {
-    for (std::size_t i = 0; i < k; ++i) machine_work(i);
-  }
+  // A weighted edge message: two vertex ids + one weight word.
+  const auto account = [](const WeightedCoresetOutput& s) {
+    return MessageSize{s.edges.edges.size(), s.edges.edges.size()};
+  };
+  const auto combine = [&](std::vector<WeightedCoresetOutput>& summaries,
+                           Rng& /*coordinator_rng*/) {
+    return compose_weighted_coresets(summaries, graph.num_vertices, left_size,
+                                     class_base);
+  };
 
-  result.comm.per_machine.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    // A weighted edge message: two vertex ids + one weight word.
-    result.comm.per_machine[i].edges = summaries[i].edges.edges.size();
-    result.comm.per_machine[i].vertices = summaries[i].edges.edges.size();
+  auto engine_result =
+      run_protocol(graph, k, left_size, rng, pool, build, account, combine);
+
+  WeightedMatchingProtocolResult result;
+  result.matching = std::move(engine_result.solution);
+  result.matching_weight = matching_weight(result.matching, graph);
+  result.comm = std::move(engine_result.comm);
+  result.timing = engine_result.timing;
+  for (const WeightedCoresetOutput& s : engine_result.summaries) {
     result.max_classes_per_machine =
         std::max(result.max_classes_per_machine,
-                 split_weight_classes(summaries[i].edges, class_base)
-                     .classes.size());
+                 split_weight_classes(s.edges, class_base).classes.size());
   }
-
-  result.matching = compose_weighted_coresets(summaries, graph.num_vertices,
-                                              left_size, class_base);
-  result.matching_weight = matching_weight(result.matching, graph);
   return result;
 }
 

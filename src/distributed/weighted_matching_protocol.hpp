@@ -1,10 +1,12 @@
 // Weighted maximum matching in the simultaneous model: the Crouch-Stubbs
 // coreset per machine, weighted merge at the coordinator, with the same
-// word-exact communication accounting as the unweighted protocols.
+// word-exact communication accounting as the unweighted protocols. A thin
+// wrapper over the ProtocolEngine instantiated with weighted edges.
 #pragma once
 
 #include "coreset/weighted_coreset.hpp"
 #include "distributed/message.hpp"
+#include "distributed/protocol_engine.hpp"
 #include "matching/matching.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,6 +16,7 @@ struct WeightedMatchingProtocolResult {
   Matching matching;
   double matching_weight = 0.0;
   CommStats comm;  // a weighted edge costs 3 words: two ids + one weight
+  ProtocolTiming timing;
   std::size_t max_classes_per_machine = 0;
 };
 

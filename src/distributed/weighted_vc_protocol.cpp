@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "coreset/vc_coreset.hpp"
-#include "partition/partition.hpp"
 
 namespace rcc {
 
@@ -33,57 +32,60 @@ WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
     return std::min(vclass[e.u], vclass[e.v]);
   };
 
-  // 2-3. Partition once; per machine, build one peeling summary per class.
-  const auto pieces = random_partition(graph, k, rng);
+  // 2-3. Engine machine phase: every machine splits its shard by the class
+  // of the cheaper endpoint and builds one peeling summary per class; all
+  // class summaries travel in one message (the protocol stays simultaneous).
   const PeelingVcCoreset coreset;
-
-  WeightedVcProtocolResult result;
-  result.weight_classes = static_cast<std::size_t>(num_classes);
-  result.comm.per_machine.resize(k);
-  std::vector<std::vector<VcCoresetOutput>> summaries(k);
-  std::vector<Rng> machine_rngs;
-  machine_rngs.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
-
-  auto machine_work = [&](std::size_t i) {
-    summaries[i].reserve(static_cast<std::size_t>(num_classes));
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    std::vector<VcCoresetOutput> class_summaries;
+    class_summaries.reserve(static_cast<std::size_t>(num_classes));
     for (int c = 0; c < num_classes; ++c) {
-      const EdgeList class_piece = pieces[i].filter(
-          [&](const Edge& e) { return edge_class(e) == c; });
-      PartitionContext ctx{n, k, i, 0};
-      summaries[i].push_back(coreset.build(class_piece, ctx, machine_rngs[i]));
+      const EdgeList class_piece =
+          piece.filter([&](const Edge& e) { return edge_class(e) == c; });
+      class_summaries.push_back(coreset.build(class_piece, ctx, machine_rng));
     }
+    return class_summaries;
   };
-  if (pool != nullptr) {
-    parallel_for(*pool, k, machine_work);
-  } else {
-    for (std::size_t i = 0; i < k; ++i) machine_work(i);
-  }
-
-  for (std::size_t i = 0; i < k; ++i) {
-    for (const auto& s : summaries[i]) {
-      result.comm.per_machine[i].edges += s.residual_edges.num_edges();
-      result.comm.per_machine[i].vertices += s.fixed_vertices.size();
+  const auto account = [](const std::vector<VcCoresetOutput>& class_summaries) {
+    MessageSize msg;
+    for (const VcCoresetOutput& s : class_summaries) {
+      msg.edges += s.residual_edges.num_edges();
+      msg.vertices += s.fixed_vertices.size();
     }
-  }
+    return msg;
+  };
 
   // 4. Coordinator: fixed union, then weighted local-ratio on the residual.
-  VertexCover cover(n);
-  EdgeList residual_union(n);
-  for (std::size_t i = 0; i < k; ++i) {
-    for (const auto& s : summaries[i]) {
-      for (VertexId v : s.fixed_vertices) cover.insert(v);
-      residual_union.append(s.residual_edges);
-    }
-  }
-  residual_union = residual_union.filter(
-      [&](const Edge& e) { return !cover.contains(e.u) && !cover.contains(e.v); });
-  const WeightedVcResult residual_cover =
-      local_ratio_weighted_vc(residual_union, weights);
-  cover.merge(residual_cover.cover);
+  const auto combine =
+      [&](std::vector<std::vector<VcCoresetOutput>>& summaries,
+          Rng& /*coordinator_rng*/) {
+        VertexCover cover(n);
+        EdgeList residual_union(n);
+        for (const auto& machine_summaries : summaries) {
+          for (const VcCoresetOutput& s : machine_summaries) {
+            for (VertexId v : s.fixed_vertices) cover.insert(v);
+            residual_union.append(s.residual_edges);
+          }
+        }
+        residual_union = residual_union.filter([&](const Edge& e) {
+          return !cover.contains(e.u) && !cover.contains(e.v);
+        });
+        const WeightedVcResult residual_cover =
+            local_ratio_weighted_vc(residual_union, weights);
+        cover.merge(residual_cover.cover);
+        return cover;
+      };
 
-  result.cover = std::move(cover);
+  auto engine_result = run_protocol(graph, k, /*left_size=*/0, rng, pool,
+                                    build, account, combine);
+
+  WeightedVcProtocolResult result;
+  result.cover = std::move(engine_result.solution);
   result.cover_cost = cover_weight(result.cover, weights);
+  result.comm = std::move(engine_result.comm);
+  result.timing = engine_result.timing;
+  result.weight_classes = static_cast<std::size_t>(num_classes);
   return result;
 }
 

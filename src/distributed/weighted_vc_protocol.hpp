@@ -30,6 +30,7 @@ struct WeightedVcProtocolResult {
   VertexCover cover;
   double cover_cost = 0.0;
   CommStats comm;
+  ProtocolTiming timing;
   std::size_t weight_classes = 0;
 };
 

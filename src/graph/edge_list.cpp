@@ -25,12 +25,7 @@ void EdgeList::append(const EdgeList& other) {
 }
 
 std::vector<VertexId> EdgeList::degrees() const {
-  std::vector<VertexId> deg(num_vertices_, 0);
-  for (const Edge& e : edges_) {
-    ++deg[e.u];
-    ++deg[e.v];
-  }
-  return deg;
+  return EdgeSpan(*this).degrees();
 }
 
 void EdgeList::sort() { std::sort(edges_.begin(), edges_.end()); }

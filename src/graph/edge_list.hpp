@@ -59,15 +59,10 @@ class EdgeList {
   /// True if some edge joins two distinct vertices more than once.
   bool has_parallel_edges() const;
 
-  /// Keeps edges for which pred(e) is true.
+  /// Keeps edges for which pred(e) is true. (Defined after EdgeSpan below —
+  /// the span implementation is the single copy of the loop.)
   template <typename Pred>
-  EdgeList filter(Pred pred) const {
-    EdgeList out(num_vertices_);
-    for (const Edge& e : edges_) {
-      if (pred(e)) out.add(e);
-    }
-    return out;
-  }
+  EdgeList filter(Pred pred) const;
 
   /// Uniform random subset of exactly min(k, m) edges.
   EdgeList sample_edges(std::size_t k, Rng& rng) const;
@@ -82,5 +77,69 @@ class EdgeList {
   VertexId num_vertices_ = 0;
   std::vector<Edge> edges_;
 };
+
+/// Non-owning view of contiguous edges over a fixed vertex universe. This is
+/// what a machine receives from the sharded partitioner: a slice of the
+/// shared edge arena, never a copy. Converts implicitly from EdgeList so
+/// every span-taking algorithm still accepts owning lists at zero cost.
+///
+/// Lifetime: the viewed storage (arena or EdgeList) must outlive the span;
+/// nothing in the library stores spans beyond the call they are passed to.
+class EdgeSpan {
+ public:
+  EdgeSpan() = default;
+
+  EdgeSpan(const Edge* data, std::size_t size, VertexId num_vertices)
+      : data_(data), size_(size), num_vertices_(num_vertices) {}
+
+  /*implicit*/ EdgeSpan(const EdgeList& list)
+      : data_(list.edges().data()),
+        size_(list.num_edges()),
+        num_vertices_(list.num_vertices()) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Edge& operator[](std::size_t i) const { return data_[i]; }
+
+  const Edge* begin() const { return data_; }
+  const Edge* end() const { return data_ + size_; }
+
+  /// Degree of every vertex (parallel edges counted with multiplicity).
+  std::vector<VertexId> degrees() const {
+    std::vector<VertexId> deg(num_vertices_, 0);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ++deg[data_[i].u];
+      ++deg[data_[i].v];
+    }
+    return deg;
+  }
+
+  /// Materializes an owning copy (the only copying operation on a span).
+  EdgeList to_edge_list() const {
+    return EdgeList(num_vertices_, std::vector<Edge>(begin(), end()));
+  }
+
+  /// Keeps edges for which pred(e) is true; the output owns its edges.
+  template <typename Pred>
+  EdgeList filter(Pred pred) const {
+    EdgeList out(num_vertices_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (pred(data_[i])) out.add(data_[i]);
+    }
+    return out;
+  }
+
+ private:
+  const Edge* data_ = nullptr;
+  std::size_t size_ = 0;
+  VertexId num_vertices_ = 0;
+};
+
+template <typename Pred>
+EdgeList EdgeList::filter(Pred pred) const {
+  return EdgeSpan(*this).filter(pred);
+}
 
 }  // namespace rcc

@@ -4,7 +4,7 @@
 
 namespace rcc {
 
-Graph::Graph(const EdgeList& edges, std::optional<Bipartition> bipartition)
+Graph::Graph(EdgeSpan edges, std::optional<Bipartition> bipartition)
     : num_vertices_(edges.num_vertices()),
       edge_count_(edges.num_edges()),
       bipartition_(bipartition) {

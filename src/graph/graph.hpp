@@ -25,9 +25,10 @@ class Graph {
  public:
   Graph() = default;
 
-  /// Builds CSR adjacency from the edge list. Parallel edges are preserved
-  /// (they matter for the multigraph reduction of Remark 5.8).
-  explicit Graph(const EdgeList& edges,
+  /// Builds CSR adjacency from an edge view (EdgeList converts implicitly,
+  /// and partitioner shards plug in without a copy). Parallel edges are
+  /// preserved (they matter for the multigraph reduction of Remark 5.8).
+  explicit Graph(EdgeSpan edges,
                  std::optional<Bipartition> bipartition = std::nullopt);
 
   VertexId num_vertices() const { return num_vertices_; }

@@ -6,7 +6,7 @@
 namespace rcc {
 
 namespace {
-Matching scan(const EdgeList& edges, const std::vector<std::size_t>& order) {
+Matching scan(EdgeSpan edges, const std::vector<std::size_t>& order) {
   Matching m(edges.num_vertices());
   for (std::size_t idx : order) {
     const Edge& e = edges[idx];
@@ -16,8 +16,7 @@ Matching scan(const EdgeList& edges, const std::vector<std::size_t>& order) {
 }
 }  // namespace
 
-Matching greedy_maximal_matching(const EdgeList& edges, GreedyOrder order,
-                                 Rng& rng) {
+Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng) {
   std::vector<std::size_t> idx(edges.num_edges());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   if (order == GreedyOrder::kRandom) rng.shuffle(idx);
@@ -25,7 +24,7 @@ Matching greedy_maximal_matching(const EdgeList& edges, GreedyOrder order,
 }
 
 Matching greedy_maximal_matching_by(
-    const EdgeList& edges, const std::function<double(const Edge&)>& key) {
+    EdgeSpan edges, const std::function<double(const Edge&)>& key) {
   std::vector<std::size_t> idx(edges.num_edges());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {

@@ -22,14 +22,13 @@ enum class GreedyOrder {
 
 /// Maximal matching scanning edges in the requested order. `rng` is only
 /// consulted for kRandom.
-Matching greedy_maximal_matching(const EdgeList& edges, GreedyOrder order,
-                                 Rng& rng);
+Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng);
 
 /// Maximal matching scanning edges sorted by ascending key(e); ties keep
 /// input order (stable sort). This is the hook used to build adversarial
 /// maximal matchings (e.g. "hub edges first" in the EXP2 gadget).
 Matching greedy_maximal_matching_by(
-    const EdgeList& edges, const std::function<double(const Edge&)>& key);
+    EdgeSpan edges, const std::function<double(const Edge&)>& key);
 
 /// Greedily extends `base` with edges from `extra` that keep it a matching
 /// (the inner step of the paper's GreedyMatch combiner, Section 3.1).

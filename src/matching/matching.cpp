@@ -46,7 +46,7 @@ bool Matching::valid() const {
   return matched == 2 * size_;
 }
 
-bool Matching::subset_of(const EdgeList& graph_edges) const {
+bool Matching::subset_of(EdgeSpan graph_edges) const {
   std::unordered_set<Edge, EdgeHash> present(graph_edges.begin(),
                                              graph_edges.end());
   for (const Edge& e : to_edge_list()) {
@@ -55,7 +55,7 @@ bool Matching::subset_of(const EdgeList& graph_edges) const {
   return true;
 }
 
-bool Matching::maximal_in(const EdgeList& graph_edges) const {
+bool Matching::maximal_in(EdgeSpan graph_edges) const {
   for (const Edge& e : graph_edges) {
     if (!is_matched(e.u) && !is_matched(e.v)) return false;
   }

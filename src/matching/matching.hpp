@@ -42,11 +42,11 @@ class Matching {
 
   /// True if every matched edge actually exists in `graph_edges`
   /// (set-membership check; used by tests to catch fabricated edges).
-  bool subset_of(const EdgeList& graph_edges) const;
+  bool subset_of(EdgeSpan graph_edges) const;
 
   /// True if no edge of `graph_edges` has both endpoints unmatched — i.e.
   /// the matching is maximal in that graph.
-  bool maximal_in(const EdgeList& graph_edges) const;
+  bool maximal_in(EdgeSpan graph_edges) const;
 
  private:
   std::vector<VertexId> mate_;

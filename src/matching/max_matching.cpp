@@ -10,14 +10,14 @@ Matching maximum_matching(const Graph& g) {
   return blossom_maximum_matching(g);
 }
 
-Matching maximum_matching(const EdgeList& edges, VertexId left_size) {
+Matching maximum_matching(EdgeSpan edges, VertexId left_size) {
   if (left_size > 0) {
     return hopcroft_karp(Graph(edges, Bipartition{left_size}));
   }
   return blossom_maximum_matching(Graph(edges));
 }
 
-std::size_t maximum_matching_size(const EdgeList& edges, VertexId left_size) {
+std::size_t maximum_matching_size(EdgeSpan edges, VertexId left_size) {
   return maximum_matching(edges, left_size).size();
 }
 

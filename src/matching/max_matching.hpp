@@ -15,11 +15,12 @@ namespace rcc {
 /// Maximum matching of g (HK if bipartite-tagged, blossom otherwise).
 Matching maximum_matching(const Graph& g);
 
-/// Convenience: builds the Graph internally. If `left_size` is nonzero the
-/// edge list is treated as bipartite with that boundary.
-Matching maximum_matching(const EdgeList& edges, VertexId left_size = 0);
+/// Convenience: builds the Graph internally from any edge view (EdgeList or
+/// a partitioner shard — no copy either way). If `left_size` is nonzero the
+/// edges are treated as bipartite with that boundary.
+Matching maximum_matching(EdgeSpan edges, VertexId left_size = 0);
 
 /// Maximum matching *size* only.
-std::size_t maximum_matching_size(const EdgeList& edges, VertexId left_size = 0);
+std::size_t maximum_matching_size(EdgeSpan edges, VertexId left_size = 0);
 
 }  // namespace rcc

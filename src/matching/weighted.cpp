@@ -40,16 +40,16 @@ Matching greedy_weighted_matching(const WeightedEdgeList& wedges) {
   return m;
 }
 
-WeightClasses split_weight_classes(const WeightedEdgeList& wedges, double base) {
+WeightClasses split_weight_classes(WeightedEdgeSpan wedges, double base) {
   RCC_CHECK(base > 1.0);
   WeightClasses out;
   double wmin = 0.0;
-  for (const auto& we : wedges.edges) {
+  for (const auto& we : wedges) {
     if (we.weight > 0.0 && (wmin == 0.0 || we.weight < wmin)) wmin = we.weight;
   }
   if (wmin == 0.0) {
     // All weights zero: one empty class.
-    out.classes.emplace_back(wedges.num_vertices);
+    out.classes.emplace_back(wedges.num_vertices());
     out.class_floor.push_back(0.0);
     return out;
   }
@@ -57,17 +57,17 @@ WeightClasses split_weight_classes(const WeightedEdgeList& wedges, double base) 
   auto class_of = [&](double w) {
     return static_cast<int>(std::floor(std::log(w / wmin) / std::log(base)));
   };
-  for (const auto& we : wedges.edges) {
+  for (const auto& we : wedges) {
     if (we.weight > 0.0) max_class = std::max(max_class, class_of(we.weight));
   }
   const int num_classes = max_class + 1;
-  out.classes.assign(num_classes, EdgeList(wedges.num_vertices));
+  out.classes.assign(num_classes, EdgeList(wedges.num_vertices()));
   out.class_floor.assign(num_classes, 0.0);
   for (int j = 0; j < num_classes; ++j) {
     // Heaviest class first: slot 0 holds class max_class.
     out.class_floor[j] = wmin * std::pow(base, max_class - j);
   }
-  for (const auto& we : wedges.edges) {
+  for (const auto& we : wedges) {
     if (we.weight <= 0.0) continue;
     const int j = class_of(we.weight);
     out.classes[max_class - j].add(we.u, we.v);

@@ -29,6 +29,37 @@ struct WeightedEdgeList {
   }
 };
 
+/// Non-owning view of contiguous weighted edges (the weighted counterpart of
+/// EdgeSpan): what a machine receives from the sharded partitioner. Converts
+/// implicitly from WeightedEdgeList; the viewed storage must outlive it.
+class WeightedEdgeSpan {
+ public:
+  WeightedEdgeSpan() = default;
+
+  WeightedEdgeSpan(const WeightedEdge* data, std::size_t size,
+                   VertexId num_vertices)
+      : data_(data), size_(size), num_vertices_(num_vertices) {}
+
+  /*implicit*/ WeightedEdgeSpan(const WeightedEdgeList& list)
+      : data_(list.edges.data()),
+        size_(list.edges.size()),
+        num_vertices_(list.num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const WeightedEdge& operator[](std::size_t i) const { return data_[i]; }
+
+  const WeightedEdge* begin() const { return data_; }
+  const WeightedEdge* end() const { return data_ + size_; }
+
+ private:
+  const WeightedEdge* data_ = nullptr;
+  std::size_t size_ = 0;
+  VertexId num_vertices_ = 0;
+};
+
 /// Total weight of a matching's edges under `weights` (edges must exist).
 double matching_weight(const Matching& m, const WeightedEdgeList& weights);
 
@@ -43,7 +74,7 @@ struct WeightClasses {
   std::vector<EdgeList> classes;       // heaviest first
   std::vector<double> class_floor;     // lower weight bound per class
 };
-WeightClasses split_weight_classes(const WeightedEdgeList& wedges, double base = 2.0);
+WeightClasses split_weight_classes(WeightedEdgeSpan wedges, double base = 2.0);
 
 /// Crouch-Stubbs: maximum matching per weight class, merged greedily from
 /// the heaviest class down. `left_size` > 0 enables the bipartite solver.

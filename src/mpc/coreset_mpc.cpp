@@ -3,7 +3,7 @@
 #include "coreset/compose.hpp"
 #include "coreset/matching_coresets.hpp"
 #include "coreset/vc_coreset.hpp"
-#include "partition/partition.hpp"
+#include "partition/sharded_partition.hpp"
 
 namespace rcc {
 
@@ -32,6 +32,33 @@ std::vector<EdgeList> reshuffle_round(const std::vector<EdgeList>& placed,
   return received;
 }
 
+/// Machine pieces for the coreset round. When the input is already randomly
+/// partitioned, the pieces are zero-copy shards of one sharded-partition
+/// arena; after an adversarial reshuffle they view the delivered per-machine
+/// messages (which the shuffle round had to materialize anyway).
+struct CoresetRoundInput {
+  ShardedPartition<Edge> sharded;       // random-input case
+  std::vector<EdgeList> received;       // reshuffle case
+
+  static CoresetRoundInput make(const EdgeList& graph, const MpcConfig& config,
+                                bool input_already_random, MpcLedger& ledger,
+                                Rng& rng) {
+    CoresetRoundInput input;
+    if (input_already_random) {
+      input.sharded = shard_random(graph, config.num_machines, rng);
+    } else {
+      input.received = reshuffle_round(
+          initial_adversarial_placement(graph, config.num_machines), ledger, rng);
+    }
+    return input;
+  }
+
+  EdgeSpan piece(std::size_t i) const {
+    if (received.empty()) return shard_span(sharded, i);
+    return EdgeSpan(received[i]);
+  }
+};
+
 }  // namespace
 
 CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
@@ -42,12 +69,8 @@ CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
   const std::size_t k = config.num_machines;
   const VertexId n = graph.num_vertices();
 
-  std::vector<EdgeList> pieces;
-  if (input_already_random) {
-    pieces = random_partition(graph, k, rng);
-  } else {
-    pieces = reshuffle_round(initial_adversarial_placement(graph, k), ledger, rng);
-  }
+  const CoresetRoundInput input =
+      CoresetRoundInput::make(graph, config, input_already_random, ledger, rng);
 
   // Coreset round: every machine sends its maximum matching to machine 0.
   ledger.begin_round("coreset-and-collect");
@@ -56,9 +79,10 @@ CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
   summaries.reserve(k);
   std::uint64_t collected_words = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    ledger.charge(i, 2 * pieces[i].num_edges());
+    const EdgeSpan piece = input.piece(i);
+    ledger.charge(i, 2 * piece.num_edges());
     PartitionContext ctx{n, k, i, left_size};
-    summaries.push_back(coreset.build(pieces[i], ctx, rng));
+    summaries.push_back(coreset.build(piece, ctx, rng));
     collected_words += 2 * summaries.back().num_edges();
   }
   ledger.charge(0, collected_words);  // machine M stores all k coresets
@@ -79,12 +103,8 @@ CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
   const std::size_t k = config.num_machines;
   const VertexId n = graph.num_vertices();
 
-  std::vector<EdgeList> pieces;
-  if (input_already_random) {
-    pieces = random_partition(graph, k, rng);
-  } else {
-    pieces = reshuffle_round(initial_adversarial_placement(graph, k), ledger, rng);
-  }
+  const CoresetRoundInput input =
+      CoresetRoundInput::make(graph, config, input_already_random, ledger, rng);
 
   ledger.begin_round("coreset-and-collect");
   const PeelingVcCoreset coreset;
@@ -92,9 +112,10 @@ CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
   summaries.reserve(k);
   std::uint64_t collected_words = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    ledger.charge(i, 2 * pieces[i].num_edges());
+    const EdgeSpan piece = input.piece(i);
+    ledger.charge(i, 2 * piece.num_edges());
     PartitionContext ctx{n, k, i, 0};
-    summaries.push_back(coreset.build(pieces[i], ctx, rng));
+    summaries.push_back(coreset.build(piece, ctx, rng));
     collected_words += 2 * summaries.back().residual_edges.num_edges() +
                        summaries.back().fixed_vertices.size();
   }

@@ -2,27 +2,32 @@
 
 #include <algorithm>
 
+#include "partition/sharded_partition.hpp"
+
 namespace rcc {
 
 std::vector<EdgeList> random_partition(const EdgeList& edges, std::size_t k,
-                                       Rng& rng) {
-  RCC_CHECK(k >= 1);
-  std::vector<EdgeList> parts(k, EdgeList(edges.num_vertices()));
-  const std::size_t expected = edges.num_edges() / k + 1;
-  for (auto& p : parts) p.reserve(expected + expected / 2);
-  for (const Edge& e : edges) {
-    parts[rng.next_below(k)].add(e);
+                                       Rng& rng, ThreadPool* pool) {
+  const ShardedPartition<Edge> sharded = shard_random(edges, k, rng, pool);
+  std::vector<EdgeList> parts;
+  parts.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto s = sharded.shard(i);
+    parts.emplace_back(edges.num_vertices(),
+                       std::vector<Edge>(s.begin(), s.end()));
   }
   return parts;
 }
 
 std::vector<WeightedEdgeList> random_partition_weighted(
-    const WeightedEdgeList& edges, std::size_t k, Rng& rng) {
-  RCC_CHECK(k >= 1);
+    const WeightedEdgeList& edges, std::size_t k, Rng& rng, ThreadPool* pool) {
+  const ShardedPartition<WeightedEdge> sharded =
+      shard_random(edges, k, rng, pool);
   std::vector<WeightedEdgeList> parts(k);
-  for (auto& p : parts) p.num_vertices = edges.num_vertices;
-  for (const WeightedEdge& e : edges.edges) {
-    parts[rng.next_below(k)].edges.push_back(e);
+  for (std::size_t i = 0; i < k; ++i) {
+    parts[i].num_vertices = edges.num_vertices;
+    const auto s = sharded.shard(i);
+    parts[i].edges.assign(s.begin(), s.end());
   }
   return parts;
 }

@@ -15,6 +15,7 @@
 #include "graph/edge_list.hpp"
 #include "matching/weighted.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rcc {
 
@@ -30,12 +31,20 @@ struct PartitionContext {
 };
 
 /// Assigns each edge independently and uniformly to one of k machines.
+///
+/// Implemented on the sharded partitioner (sharded_partition.hpp): one
+/// forked RNG stream per fixed-size edge batch rather than one serialized
+/// stream, so the assignment passes run on `pool` when provided — and the
+/// result is identical for any thread count. Returns owning per-machine
+/// lists for callers that need them; the protocol engine itself consumes
+/// the arena shards directly and never materializes these copies.
 std::vector<EdgeList> random_partition(const EdgeList& edges, std::size_t k,
-                                       Rng& rng);
+                                       Rng& rng, ThreadPool* pool = nullptr);
 
 /// Weighted variant (the Crouch-Stubbs experiments partition weighted edges).
 std::vector<WeightedEdgeList> random_partition_weighted(
-    const WeightedEdgeList& edges, std::size_t k, Rng& rng);
+    const WeightedEdgeList& edges, std::size_t k, Rng& rng,
+    ThreadPool* pool = nullptr);
 
 /// Adversarial: contiguous chunks of the lexicographically sorted edge list,
 /// so each machine sees a vertex-local cluster of edges.

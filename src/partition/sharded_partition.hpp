@@ -1,0 +1,244 @@
+// Single-pass sharded random k-partitioner: the partition phase of the
+// protocol engine.
+//
+// The legacy `random_partition` materialized k per-machine EdgeList copies
+// (k reserves, one normalizing push_back per edge) before any machine could
+// start working. The sharded partitioner instead produces ONE flat edge
+// arena plus a (k+1)-entry offset index; machine i's piece is the
+// zero-copy slice arena[offsets[i], offsets[i+1]).
+//
+// Pipeline (templated over unweighted/weighted edges):
+//
+//   1. counting pass  — edges are cut into fixed-size batches; each batch
+//      draws destinations from its own forked RNG stream and tallies a
+//      per-(batch, machine) histogram,
+//   2. offset index   — machine totals prefix-sum into the arena offsets;
+//      per-batch write cursors fall out of the same scan,
+//   3. scatter pass   — each batch copies its edges into the arena at the
+//      precomputed cursors.
+//
+// Both edge passes parallelize over batches on the thread pool, and because
+// batch boundaries and RNG forks are fixed by the edge count alone, the
+// arena layout is byte-identical for any thread count (and equal to the
+// sequential run). Within a machine, edges keep their global input order —
+// the scatter is stable — so downstream algorithms see the same piece a
+// sequential stable partitioner would hand them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "matching/weighted.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rcc {
+
+/// Edges per partition batch. One batch of Edge payloads (128 KiB) stays
+/// cache-resident while it is counted and scattered; batch boundaries are a
+/// pure function of the edge count, which is what makes the layout
+/// independent of thread scheduling.
+inline constexpr std::size_t kPartitionBatchEdges = std::size_t{1} << 14;
+
+template <typename EdgeT>
+class ShardedPartition {
+ public:
+  ShardedPartition() = default;
+
+  /// Partitions `edges` into k shards of one flat arena. Draws k-sided dice
+  /// from one forked RNG stream per batch; `pool` may be null for
+  /// sequential execution (same result either way).
+  ShardedPartition(std::span<const EdgeT> edges, VertexId num_vertices,
+                   std::size_t k, Rng& rng, ThreadPool* pool = nullptr)
+      : num_vertices_(num_vertices) {
+    RCC_CHECK(k >= 1);
+    const std::size_t m = edges.size();
+    const std::size_t num_batches =
+        (m + kPartitionBatchEdges - 1) / kPartitionBatchEdges;
+
+    // Fork the per-batch streams up front (serial: forking is two draws).
+    std::vector<Rng> batch_rngs;
+    batch_rngs.reserve(num_batches);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      batch_rngs.push_back(rng.fork());
+    }
+
+    // Pass 1: draw destinations, tally per-(batch, machine) counts.
+    // Destinations are memoized (one byte when k fits) so the scatter pass
+    // does not redraw. For k <= 256 each 64-bit draw yields four k-sided
+    // dice via 16-bit-lane Lemire rejection — still exactly uniform, and
+    // the dominant cost of the legacy per-edge next_below drops ~4x.
+    std::vector<std::size_t> counts(num_batches * k, 0);
+    const bool narrow = k <= 256;
+    std::vector<std::uint8_t> dest8(narrow ? m : 0);
+    std::vector<std::uint32_t> dest32(narrow ? 0 : m);
+    const auto count_batch = [&](std::size_t b) {
+      Rng& brng = batch_rngs[b];
+      const std::size_t begin = b * kPartitionBatchEdges;
+      const std::size_t end = std::min(begin + kPartitionBatchEdges, m);
+      std::size_t* batch_counts = counts.data() + b * k;
+      if (narrow) {
+        // Lemire on 16-bit lanes: x uniform in [0, 2^16) maps to
+        // (x*k) >> 16, rejecting lanes with (x*k mod 2^16) < 2^16 mod k so
+        // every destination gets exactly floor(2^16 / k) accepted values.
+        // Tallies go to a stack-local array: adjacent batches' rows of the
+        // shared counts array can share a cache line when k is small, and
+        // per-edge increments there would false-share across pool threads.
+        const auto kk = static_cast<std::uint32_t>(k);
+        const std::uint32_t reject_below = 65536u % kk;
+        std::array<std::size_t, 256> local_counts{};
+        std::uint64_t bits = 0;
+        int lanes_left = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint32_t d;
+          for (;;) {
+            if (lanes_left == 0) {
+              bits = brng.next_u64();
+              lanes_left = 4;
+            }
+            const auto lane = static_cast<std::uint32_t>(bits & 0xFFFFu);
+            bits >>= 16;
+            --lanes_left;
+            const std::uint32_t prod = lane * kk;
+            if ((prod & 0xFFFFu) >= reject_below) {
+              d = prod >> 16;
+              break;
+            }
+          }
+          dest8[i] = static_cast<std::uint8_t>(d);
+          ++local_counts[d];
+        }
+        for (std::size_t j = 0; j < k; ++j) batch_counts[j] = local_counts[j];
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto d = static_cast<std::uint32_t>(brng.next_below(k));
+          dest32[i] = d;
+          ++batch_counts[d];
+        }
+      }
+    };
+    run_batches(num_batches, pool, count_batch);
+
+    // Offset index: machine totals -> arena offsets; the same scan yields
+    // each batch's write cursor for each machine.
+    offsets_.assign(k + 1, 0);
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      for (std::size_t j = 0; j < k; ++j) offsets_[j + 1] += counts[b * k + j];
+    }
+    for (std::size_t j = 0; j < k; ++j) offsets_[j + 1] += offsets_[j];
+    std::vector<std::size_t> cursors(num_batches * k);
+    {
+      std::vector<std::size_t> running(offsets_.begin(), offsets_.end() - 1);
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        for (std::size_t j = 0; j < k; ++j) {
+          cursors[b * k + j] = running[j];
+          running[j] += counts[b * k + j];
+        }
+      }
+    }
+
+    // Pass 2: scatter raw edge payloads into the arena (no per-edge
+    // normalization, bounds checks, or capacity growth — the source edges
+    // already honor the EdgeList invariants). The arena is uninitialized
+    // byte storage (EdgeT is an implicit-lifetime aggregate): every slot is
+    // written exactly once by the scatter, so a zeroing resize would be a
+    // wasted full pass over the buffer.
+    num_edges_ = m;
+    arena_storage_.reset(new std::byte[m * sizeof(EdgeT)]);
+    EdgeT* arena = reinterpret_cast<EdgeT*>(arena_storage_.get());
+    const auto scatter_batch = [&](std::size_t b) {
+      std::size_t* cur = cursors.data() + b * k;
+      const std::size_t begin = b * kPartitionBatchEdges;
+      const std::size_t end = std::min(begin + kPartitionBatchEdges, m);
+      if (narrow) {
+        // Cursors advance on a stack-local copy for the same false-sharing
+        // reason as the counting pass (each batch's row is logically
+        // private, but adjacent rows can share cache lines).
+        std::array<std::size_t, 256> local_cur;
+        for (std::size_t j = 0; j < k; ++j) local_cur[j] = cur[j];
+        for (std::size_t i = begin; i < end; ++i) {
+          arena[local_cur[dest8[i]]++] = edges[i];
+        }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) arena[cur[dest32[i]]++] = edges[i];
+      }
+    };
+    run_batches(num_batches, pool, scatter_batch);
+  }
+
+  std::size_t num_machines() const { return offsets_.size() - 1; }
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Machine i's piece: a view into the shared arena, never a copy.
+  std::span<const EdgeT> shard(std::size_t i) const {
+    const EdgeT* arena = reinterpret_cast<const EdgeT*>(arena_storage_.get());
+    return {arena + offsets_[i], arena + offsets_[i + 1]};
+  }
+
+  std::size_t shard_size(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+ private:
+  template <typename Fn>
+  static void run_batches(std::size_t num_batches, ThreadPool* pool,
+                          const Fn& fn) {
+    if (pool != nullptr && num_batches > 1) {
+      parallel_for(*pool, num_batches, fn);
+    } else {
+      for (std::size_t b = 0; b < num_batches; ++b) fn(b);
+    }
+  }
+
+  VertexId num_vertices_ = 0;
+  std::size_t num_edges_ = 0;
+  std::unique_ptr<std::byte[]> arena_storage_;
+  std::vector<std::size_t> offsets_{0};  // size k+1 ({0} = empty partition)
+};
+
+/// Maps an edge payload to its non-owning view type (what coreset builders
+/// and the protocol engine's machine phase consume).
+template <typename EdgeT>
+struct EdgeViewOf;
+template <>
+struct EdgeViewOf<Edge> {
+  using type = EdgeSpan;
+};
+template <>
+struct EdgeViewOf<WeightedEdge> {
+  using type = WeightedEdgeSpan;
+};
+
+/// Convenience builders for the two edge flavors.
+inline ShardedPartition<Edge> shard_random(const EdgeList& edges, std::size_t k,
+                                           Rng& rng,
+                                           ThreadPool* pool = nullptr) {
+  return ShardedPartition<Edge>(
+      std::span<const Edge>(edges.edges().data(), edges.num_edges()),
+      edges.num_vertices(), k, rng, pool);
+}
+
+inline ShardedPartition<WeightedEdge> shard_random(
+    const WeightedEdgeList& edges, std::size_t k, Rng& rng,
+    ThreadPool* pool = nullptr) {
+  return ShardedPartition<WeightedEdge>(
+      std::span<const WeightedEdge>(edges.edges.data(), edges.edges.size()),
+      edges.num_vertices, k, rng, pool);
+}
+
+/// Machine i's piece of an unweighted partition as an EdgeSpan (the view
+/// type the coreset interfaces take).
+inline EdgeSpan shard_span(const ShardedPartition<Edge>& parts, std::size_t i) {
+  const auto s = parts.shard(i);
+  return EdgeSpan(s.data(), s.size(), parts.num_vertices());
+}
+
+}  // namespace rcc

@@ -6,8 +6,8 @@
 
 namespace rcc {
 
-VertexCover forest_min_vertex_cover(const EdgeList& edges, ForestTieBreak tie) {
-  EdgeList simple = edges;
+VertexCover forest_min_vertex_cover(EdgeSpan edges, ForestTieBreak tie) {
+  EdgeList simple = edges.to_edge_list();
   simple.dedup();
   const Graph g(simple);
   const VertexId n = g.num_vertices();

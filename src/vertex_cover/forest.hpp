@@ -21,6 +21,6 @@ enum class ForestTieBreak {
 /// remains, take a leaf's unique neighbor into the cover (optimal for
 /// forests); isolated edges (both endpoints degree 1) are resolved by the
 /// tie-break. Aborts if the input contains a cycle.
-VertexCover forest_min_vertex_cover(const EdgeList& edges, ForestTieBreak tie);
+VertexCover forest_min_vertex_cover(EdgeSpan edges, ForestTieBreak tie);
 
 }  // namespace rcc

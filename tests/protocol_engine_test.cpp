@@ -1,0 +1,238 @@
+// ProtocolEngine tests: the sharded partitioner's exactly-once /
+// determinism guarantees, and equivalence of the engine pipeline with the
+// legacy driver shapes it replaced.
+#include "distributed/protocol_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "distributed/protocols.hpp"
+#include "graph/generators.hpp"
+#include "matching/max_matching.hpp"
+#include "partition/partition.hpp"
+#include "partition/sharded_partition.hpp"
+#include "util/rng.hpp"
+
+namespace rcc {
+namespace {
+
+std::vector<Edge> sorted_edges(EdgeSpan span) {
+  std::vector<Edge> edges(span.begin(), span.end());
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TEST(ShardedPartition, PreservesEveryEdgeExactlyOnce) {
+  Rng gen(1);
+  const EdgeList el = gnp(500, 0.04, gen);
+  const std::size_t k = 7;
+  Rng rng(11);
+  const ShardedPartition<Edge> parts = shard_random(el, k, rng);
+  ASSERT_EQ(parts.num_machines(), k);
+  EXPECT_EQ(parts.num_edges(), el.num_edges());
+
+  std::vector<Edge> merged;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto s = parts.shard(i);
+    EXPECT_EQ(s.size(), parts.shard_size(i));
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, sorted_edges(el));
+}
+
+TEST(ShardedPartition, ShardsKeepGlobalInputOrder) {
+  // The scatter is stable: within one machine, edges appear in the order
+  // they occur in the input stream (what a sequential partitioner yields).
+  Rng gen(2);
+  EdgeList el(1000);
+  for (VertexId v = 0; v + 1 < 1000; ++v) el.add(v, v + 1);  // distinct edges
+  std::vector<std::size_t> position(el.num_edges());
+  for (std::size_t i = 0; i < el.num_edges(); ++i) position[el[i].u] = i;
+
+  Rng rng(3);
+  const ShardedPartition<Edge> parts = shard_random(el, 5, rng);
+  for (std::size_t i = 0; i < parts.num_machines(); ++i) {
+    const auto s = parts.shard(i);
+    for (std::size_t j = 1; j < s.size(); ++j) {
+      EXPECT_LT(position[s[j - 1].u], position[s[j].u]);
+    }
+  }
+}
+
+TEST(ShardedPartition, DeterministicForFixedSeedRegardlessOfThreadCount) {
+  Rng gen(4);
+  // > kPartitionBatchEdges edges so several batches are in play.
+  const EdgeList el = gnp(2000, 0.01, gen);
+  ASSERT_GT(el.num_edges(), kPartitionBatchEdges);
+
+  const std::size_t k = 6;
+  Rng rng_seq(77);
+  const ShardedPartition<Edge> seq = shard_random(el, k, rng_seq);
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    Rng rng_par(77);
+    const ShardedPartition<Edge> par = shard_random(el, k, rng_par, &pool);
+    ASSERT_EQ(par.offsets(), seq.offsets()) << threads << " threads";
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto a = seq.shard(i);
+      const auto b = par.shard(i);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "machine " << i << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ShardedPartition, RandomPartitionWrapperMatchesShards) {
+  Rng gen(5);
+  const EdgeList el = gnp(800, 0.02, gen);
+  const std::size_t k = 4;
+  ThreadPool pool(3);
+  Rng a(9), b(9);
+  const auto serial = random_partition(el, k, a);
+  const auto pooled = random_partition(el, k, b, &pool);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    ASSERT_EQ(serial[i].num_edges(), pooled[i].num_edges());
+    for (std::size_t j = 0; j < serial[i].num_edges(); ++j) {
+      EXPECT_EQ(serial[i][j], pooled[i][j]);
+    }
+  }
+}
+
+TEST(ShardedPartition, WeightedPreservesEdgesAndWeights) {
+  WeightedEdgeList w;
+  w.num_vertices = 50;
+  Rng gen(6);
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<VertexId>(gen.next_below(49));
+    w.add(u, static_cast<VertexId>(u + 1), gen.uniform_real(0.1, 9.0));
+  }
+  Rng rng(7);
+  const ShardedPartition<WeightedEdge> parts = shard_random(w, 6, rng);
+  std::vector<double> shard_weights;
+  for (std::size_t i = 0; i < parts.num_machines(); ++i) {
+    for (const WeightedEdge& e : parts.shard(i)) {
+      shard_weights.push_back(e.weight);
+    }
+  }
+  ASSERT_EQ(shard_weights.size(), w.edges.size());
+  std::vector<double> original;
+  for (const auto& e : w.edges) original.push_back(e.weight);
+  std::sort(shard_weights.begin(), shard_weights.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(shard_weights, original);  // exact multiset equality
+}
+
+TEST(ProtocolEngine, MatchingProtocolEqualsManualPartitionPlusLegacyDriver) {
+  // run_matching_protocol == (sharded partition, then the on_partition
+  // driver) when both consume the same RNG stream — the engine is the same
+  // pipeline, minus the per-machine EdgeList copies.
+  Rng gen(8);
+  const EdgeList el = gnp(1500, 5.0 / 1500, gen);
+  const std::size_t k = 6;
+  const MaximumMatchingCoreset coreset;
+
+  Rng engine_rng(123);
+  const MatchingProtocolResult engine = run_matching_protocol(
+      el, k, coreset, ComposeSolver::kMaximum, 0, engine_rng, nullptr);
+
+  Rng manual_rng(123);
+  const ShardedPartition<Edge> parts = shard_random(el, k, manual_rng);
+  std::vector<EdgeList> pieces;
+  for (std::size_t i = 0; i < k; ++i) {
+    pieces.push_back(shard_span(parts, i).to_edge_list());
+  }
+  const MatchingProtocolResult manual = run_matching_protocol_on_partition(
+      pieces, coreset, ComposeSolver::kMaximum, 0, manual_rng, nullptr);
+
+  EXPECT_EQ(engine.matching.size(), manual.matching.size());
+  EXPECT_EQ(engine.comm.total_words(), manual.comm.total_words());
+  ASSERT_EQ(engine.summaries.size(), manual.summaries.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(engine.summaries[i].num_edges(), manual.summaries[i].num_edges());
+  }
+}
+
+TEST(ProtocolEngine, VcProtocolEqualsManualPartitionPlusLegacyDriver) {
+  Rng gen(9);
+  const EdgeList el = gnp(1200, 6.0 / 1200, gen);
+  const std::size_t k = 5;
+  const PeelingVcCoreset coreset;
+
+  Rng engine_rng(321);
+  const VcProtocolResult engine =
+      run_vc_protocol(el, k, coreset, engine_rng, nullptr);
+
+  Rng manual_rng(321);
+  const ShardedPartition<Edge> parts = shard_random(el, k, manual_rng);
+  std::vector<EdgeList> pieces;
+  for (std::size_t i = 0; i < k; ++i) {
+    pieces.push_back(shard_span(parts, i).to_edge_list());
+  }
+  const VcProtocolResult manual = run_vc_protocol_on_partition(
+      pieces, coreset, el.num_vertices(), manual_rng, nullptr);
+
+  EXPECT_EQ(engine.cover.size(), manual.cover.size());
+  EXPECT_EQ(engine.comm.total_words(), manual.comm.total_words());
+  EXPECT_TRUE(engine.cover.covers(el));
+}
+
+TEST(ProtocolEngine, BipartiteInstanceMatchesLegacyDriverAndStaysValid) {
+  Rng gen(10);
+  const VertexId side = 600;
+  const EdgeList el = random_bipartite(side, side, 4.0 / side, gen);
+  const std::size_t k = 4;
+  const MaximumMatchingCoreset coreset;
+
+  Rng engine_rng(55);
+  const MatchingProtocolResult engine = run_matching_protocol(
+      el, k, coreset, ComposeSolver::kMaximum, side, engine_rng, nullptr);
+  EXPECT_TRUE(engine.matching.valid());
+  EXPECT_TRUE(engine.matching.subset_of(el));
+
+  Rng manual_rng(55);
+  const ShardedPartition<Edge> parts = shard_random(el, k, manual_rng);
+  std::vector<EdgeList> pieces;
+  for (std::size_t i = 0; i < k; ++i) {
+    pieces.push_back(shard_span(parts, i).to_edge_list());
+  }
+  const MatchingProtocolResult manual = run_matching_protocol_on_partition(
+      pieces, coreset, ComposeSolver::kMaximum, side, manual_rng, nullptr);
+  EXPECT_EQ(engine.matching.size(), manual.matching.size());
+}
+
+TEST(ProtocolEngine, ParallelMachinePhaseMatchesSequential) {
+  Rng gen(11);
+  const EdgeList el = gnp(1000, 8.0 / 1000, gen);
+  ThreadPool pool(4);
+  Rng a(99), b(99);
+  const MatchingProtocolResult seq =
+      coreset_matching_protocol(el, 8, 0, a, nullptr);
+  const MatchingProtocolResult par =
+      coreset_matching_protocol(el, 8, 0, b, &pool);
+  EXPECT_EQ(seq.matching.size(), par.matching.size());
+  EXPECT_EQ(seq.comm.total_words(), par.comm.total_words());
+}
+
+TEST(ProtocolEngine, EmptyGraphAndSingleMachine) {
+  Rng rng(12);
+  const EdgeList empty(64);
+  const MatchingProtocolResult r =
+      coreset_matching_protocol(empty, 4, 0, rng, nullptr);
+  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_EQ(r.comm.total_words(), 0u);
+
+  Rng rng2(13);
+  const EdgeList el = gnp(200, 0.05, rng2);
+  const MatchingProtocolResult one =
+      coreset_matching_protocol(el, 1, 0, rng2, nullptr);
+  EXPECT_TRUE(one.matching.valid());
+  EXPECT_EQ(one.matching.size(), maximum_matching_size(el));
+}
+
+}  // namespace
+}  // namespace rcc
