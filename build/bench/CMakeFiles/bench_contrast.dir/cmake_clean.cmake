@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contrast.dir/bench_contrast.cpp.o"
+  "CMakeFiles/bench_contrast.dir/bench_contrast.cpp.o.d"
+  "bench_contrast"
+  "bench_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

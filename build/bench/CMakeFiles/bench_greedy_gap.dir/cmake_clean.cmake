@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_gap.dir/bench_greedy_gap.cpp.o"
+  "CMakeFiles/bench_greedy_gap.dir/bench_greedy_gap.cpp.o.d"
+  "bench_greedy_gap"
+  "bench_greedy_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

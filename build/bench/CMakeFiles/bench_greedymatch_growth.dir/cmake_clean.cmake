@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedymatch_growth.dir/bench_greedymatch_growth.cpp.o"
+  "CMakeFiles/bench_greedymatch_growth.dir/bench_greedymatch_growth.cpp.o.d"
+  "bench_greedymatch_growth"
+  "bench_greedymatch_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedymatch_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grouping_protocol.dir/bench_grouping_protocol.cpp.o"
+  "CMakeFiles/bench_grouping_protocol.dir/bench_grouping_protocol.cpp.o.d"
+  "bench_grouping_protocol"
+  "bench_grouping_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouping_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hvp.dir/bench_hvp.cpp.o"
+  "CMakeFiles/bench_hvp.dir/bench_hvp.cpp.o.d"
+  "bench_hvp"
+  "bench_hvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_induced_matching.dir/bench_induced_matching.cpp.o"
+  "CMakeFiles/bench_induced_matching.dir/bench_induced_matching.cpp.o.d"
+  "bench_induced_matching"
+  "bench_induced_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_induced_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_matching.dir/bench_lb_matching.cpp.o"
+  "CMakeFiles/bench_lb_matching.dir/bench_lb_matching.cpp.o.d"
+  "bench_lb_matching"
+  "bench_lb_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_vc.dir/bench_lb_vc.cpp.o"
+  "CMakeFiles/bench_lb_vc.dir/bench_lb_vc.cpp.o.d"
+  "bench_lb_vc"
+  "bench_lb_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

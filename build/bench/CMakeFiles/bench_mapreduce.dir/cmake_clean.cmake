@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapreduce.dir/bench_mapreduce.cpp.o"
+  "CMakeFiles/bench_mapreduce.dir/bench_mapreduce.cpp.o.d"
+  "bench_mapreduce"
+  "bench_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

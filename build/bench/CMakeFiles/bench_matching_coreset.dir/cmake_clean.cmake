@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_coreset.dir/bench_matching_coreset.cpp.o"
+  "CMakeFiles/bench_matching_coreset.dir/bench_matching_coreset.cpp.o.d"
+  "bench_matching_coreset"
+  "bench_matching_coreset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_coreset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

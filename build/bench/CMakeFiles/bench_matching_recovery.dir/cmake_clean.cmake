@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_recovery.dir/bench_matching_recovery.cpp.o"
+  "CMakeFiles/bench_matching_recovery.dir/bench_matching_recovery.cpp.o.d"
+  "bench_matching_recovery"
+  "bench_matching_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_throughput.dir/bench_partition_throughput.cpp.o"
+  "CMakeFiles/bench_partition_throughput.dir/bench_partition_throughput.cpp.o.d"
+  "bench_partition_throughput"
+  "bench_partition_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

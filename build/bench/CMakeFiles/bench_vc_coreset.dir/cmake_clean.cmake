@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc_coreset.dir/bench_vc_coreset.cpp.o"
+  "CMakeFiles/bench_vc_coreset.dir/bench_vc_coreset.cpp.o.d"
+  "bench_vc_coreset"
+  "bench_vc_coreset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc_coreset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vc_negative.dir/bench_vc_negative.cpp.o"
+  "CMakeFiles/bench_vc_negative.dir/bench_vc_negative.cpp.o.d"
+  "bench_vc_negative"
+  "bench_vc_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vc_negative.
+# This may be replaced when dependencies are built.

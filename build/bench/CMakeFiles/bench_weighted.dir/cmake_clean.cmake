@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weighted.dir/bench_weighted.cpp.o"
+  "CMakeFiles/bench_weighted.dir/bench_weighted.cpp.o.d"
+  "bench_weighted"
+  "bench_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

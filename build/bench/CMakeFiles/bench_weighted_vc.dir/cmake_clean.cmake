@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weighted_vc.dir/bench_weighted_vc.cpp.o"
+  "CMakeFiles/bench_weighted_vc.dir/bench_weighted_vc.cpp.o.d"
+  "bench_weighted_vc"
+  "bench_weighted_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

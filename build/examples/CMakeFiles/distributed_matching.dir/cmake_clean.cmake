@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_matching.dir/distributed_matching.cpp.o"
+  "CMakeFiles/distributed_matching.dir/distributed_matching.cpp.o.d"
+  "distributed_matching"
+  "distributed_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_vertex_cover.dir/mapreduce_vertex_cover.cpp.o"
+  "CMakeFiles/mapreduce_vertex_cover.dir/mapreduce_vertex_cover.cpp.o.d"
+  "mapreduce_vertex_cover"
+  "mapreduce_vertex_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_vertex_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

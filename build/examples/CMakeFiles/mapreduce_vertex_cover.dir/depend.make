@@ -1,0 +1,2 @@
+# Empty dependencies file for mapreduce_vertex_cover.
+# This may be replaced when dependencies are built.

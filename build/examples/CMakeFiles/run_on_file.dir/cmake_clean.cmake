@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_on_file.dir/run_on_file.cpp.o"
+  "CMakeFiles/run_on_file.dir/run_on_file.cpp.o.d"
+  "run_on_file"
+  "run_on_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_on_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

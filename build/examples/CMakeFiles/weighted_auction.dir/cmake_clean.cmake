@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_auction.dir/weighted_auction.cpp.o"
+  "CMakeFiles/weighted_auction.dir/weighted_auction.cpp.o.d"
+  "weighted_auction"
+  "weighted_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

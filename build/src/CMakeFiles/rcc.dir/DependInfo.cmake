@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contrast/connectivity_coreset.cpp" "src/CMakeFiles/rcc.dir/contrast/connectivity_coreset.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/contrast/connectivity_coreset.cpp.o.d"
+  "/root/repo/src/coreset/adversarial.cpp" "src/CMakeFiles/rcc.dir/coreset/adversarial.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/adversarial.cpp.o.d"
+  "/root/repo/src/coreset/budget.cpp" "src/CMakeFiles/rcc.dir/coreset/budget.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/budget.cpp.o.d"
+  "/root/repo/src/coreset/compose.cpp" "src/CMakeFiles/rcc.dir/coreset/compose.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/compose.cpp.o.d"
+  "/root/repo/src/coreset/kernel.cpp" "src/CMakeFiles/rcc.dir/coreset/kernel.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/kernel.cpp.o.d"
+  "/root/repo/src/coreset/matching_coresets.cpp" "src/CMakeFiles/rcc.dir/coreset/matching_coresets.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/matching_coresets.cpp.o.d"
+  "/root/repo/src/coreset/mixed.cpp" "src/CMakeFiles/rcc.dir/coreset/mixed.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/mixed.cpp.o.d"
+  "/root/repo/src/coreset/vc_coreset.cpp" "src/CMakeFiles/rcc.dir/coreset/vc_coreset.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/vc_coreset.cpp.o.d"
+  "/root/repo/src/coreset/weighted_coreset.cpp" "src/CMakeFiles/rcc.dir/coreset/weighted_coreset.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/coreset/weighted_coreset.cpp.o.d"
+  "/root/repo/src/distributed/protocol.cpp" "src/CMakeFiles/rcc.dir/distributed/protocol.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/distributed/protocol.cpp.o.d"
+  "/root/repo/src/distributed/protocols.cpp" "src/CMakeFiles/rcc.dir/distributed/protocols.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/distributed/protocols.cpp.o.d"
+  "/root/repo/src/distributed/weighted_matching_protocol.cpp" "src/CMakeFiles/rcc.dir/distributed/weighted_matching_protocol.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/distributed/weighted_matching_protocol.cpp.o.d"
+  "/root/repo/src/distributed/weighted_vc_protocol.cpp" "src/CMakeFiles/rcc.dir/distributed/weighted_vc_protocol.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/distributed/weighted_vc_protocol.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/rcc.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rcc.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rcc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/rcc.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/rcc.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/lower_bounds/hard_instances.cpp" "src/CMakeFiles/rcc.dir/lower_bounds/hard_instances.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/lower_bounds/hard_instances.cpp.o.d"
+  "/root/repo/src/lower_bounds/hvp.cpp" "src/CMakeFiles/rcc.dir/lower_bounds/hvp.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/lower_bounds/hvp.cpp.o.d"
+  "/root/repo/src/lower_bounds/matching_recovery.cpp" "src/CMakeFiles/rcc.dir/lower_bounds/matching_recovery.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/lower_bounds/matching_recovery.cpp.o.d"
+  "/root/repo/src/lower_bounds/probes.cpp" "src/CMakeFiles/rcc.dir/lower_bounds/probes.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/lower_bounds/probes.cpp.o.d"
+  "/root/repo/src/matching/blossom.cpp" "src/CMakeFiles/rcc.dir/matching/blossom.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/blossom.cpp.o.d"
+  "/root/repo/src/matching/greedy.cpp" "src/CMakeFiles/rcc.dir/matching/greedy.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/greedy.cpp.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cpp" "src/CMakeFiles/rcc.dir/matching/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/matching/matching.cpp" "src/CMakeFiles/rcc.dir/matching/matching.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/matching.cpp.o.d"
+  "/root/repo/src/matching/max_matching.cpp" "src/CMakeFiles/rcc.dir/matching/max_matching.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/max_matching.cpp.o.d"
+  "/root/repo/src/matching/weighted.cpp" "src/CMakeFiles/rcc.dir/matching/weighted.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/matching/weighted.cpp.o.d"
+  "/root/repo/src/mpc/coreset_mpc.cpp" "src/CMakeFiles/rcc.dir/mpc/coreset_mpc.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/mpc/coreset_mpc.cpp.o.d"
+  "/root/repo/src/mpc/filtering_mpc.cpp" "src/CMakeFiles/rcc.dir/mpc/filtering_mpc.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/mpc/filtering_mpc.cpp.o.d"
+  "/root/repo/src/mpc/mpc.cpp" "src/CMakeFiles/rcc.dir/mpc/mpc.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/mpc/mpc.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/rcc.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/streaming/streaming_matching.cpp" "src/CMakeFiles/rcc.dir/streaming/streaming_matching.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/streaming/streaming_matching.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/rcc.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/rcc.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rcc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rcc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rcc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/rcc.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/vertex_cover/approx.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/approx.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/approx.cpp.o.d"
+  "/root/repo/src/vertex_cover/exact.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/exact.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/exact.cpp.o.d"
+  "/root/repo/src/vertex_cover/forest.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/forest.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/forest.cpp.o.d"
+  "/root/repo/src/vertex_cover/konig.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/konig.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/konig.cpp.o.d"
+  "/root/repo/src/vertex_cover/peeling.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/peeling.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/peeling.cpp.o.d"
+  "/root/repo/src/vertex_cover/vertex_cover.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/vertex_cover.cpp.o.d"
+  "/root/repo/src/vertex_cover/weighted_vc.cpp" "src/CMakeFiles/rcc.dir/vertex_cover/weighted_vc.cpp.o" "gcc" "src/CMakeFiles/rcc.dir/vertex_cover/weighted_vc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

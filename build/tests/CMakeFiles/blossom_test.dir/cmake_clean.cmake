@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blossom_test.dir/blossom_test.cpp.o"
+  "CMakeFiles/blossom_test.dir/blossom_test.cpp.o.d"
+  "blossom_test"
+  "blossom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blossom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

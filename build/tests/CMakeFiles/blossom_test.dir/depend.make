@@ -1,0 +1,2 @@
+# Empty dependencies file for blossom_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contrast_test.dir/contrast_test.cpp.o"
+  "CMakeFiles/contrast_test.dir/contrast_test.cpp.o.d"
+  "contrast_test"
+  "contrast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contrast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

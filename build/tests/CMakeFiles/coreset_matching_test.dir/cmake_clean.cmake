@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreset_matching_test.dir/coreset_matching_test.cpp.o"
+  "CMakeFiles/coreset_matching_test.dir/coreset_matching_test.cpp.o.d"
+  "coreset_matching_test"
+  "coreset_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreset_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreset_vc_test.dir/coreset_vc_test.cpp.o"
+  "CMakeFiles/coreset_vc_test.dir/coreset_vc_test.cpp.o.d"
+  "coreset_vc_test"
+  "coreset_vc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreset_vc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_matching_test.dir/greedy_matching_test.cpp.o"
+  "CMakeFiles/greedy_matching_test.dir/greedy_matching_test.cpp.o.d"
+  "greedy_matching_test"
+  "greedy_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_instances_test.dir/hard_instances_test.cpp.o"
+  "CMakeFiles/hard_instances_test.dir/hard_instances_test.cpp.o.d"
+  "hard_instances_test"
+  "hard_instances_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hard_instances_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvp_test.dir/hvp_test.cpp.o"
+  "CMakeFiles/hvp_test.dir/hvp_test.cpp.o.d"
+  "hvp_test"
+  "hvp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_recovery_test.dir/matching_recovery_test.cpp.o"
+  "CMakeFiles/matching_recovery_test.dir/matching_recovery_test.cpp.o.d"
+  "matching_recovery_test"
+  "matching_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

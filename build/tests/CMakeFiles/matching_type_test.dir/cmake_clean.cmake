@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_type_test.dir/matching_type_test.cpp.o"
+  "CMakeFiles/matching_type_test.dir/matching_type_test.cpp.o.d"
+  "matching_type_test"
+  "matching_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_lemmas_test.dir/paper_lemmas_test.cpp.o"
+  "CMakeFiles/paper_lemmas_test.dir/paper_lemmas_test.cpp.o.d"
+  "paper_lemmas_test"
+  "paper_lemmas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_lemmas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peeling_test.dir/peeling_test.cpp.o"
+  "CMakeFiles/peeling_test.dir/peeling_test.cpp.o.d"
+  "peeling_test"
+  "peeling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_engine_test.dir/protocol_engine_test.cpp.o"
+  "CMakeFiles/protocol_engine_test.dir/protocol_engine_test.cpp.o.d"
+  "protocol_engine_test"
+  "protocol_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

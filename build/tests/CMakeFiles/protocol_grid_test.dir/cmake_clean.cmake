@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_grid_test.dir/protocol_grid_test.cpp.o"
+  "CMakeFiles/protocol_grid_test.dir/protocol_grid_test.cpp.o.d"
+  "protocol_grid_test"
+  "protocol_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

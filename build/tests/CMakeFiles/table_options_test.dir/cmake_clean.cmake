@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_options_test.dir/table_options_test.cpp.o"
+  "CMakeFiles/table_options_test.dir/table_options_test.cpp.o.d"
+  "table_options_test"
+  "table_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

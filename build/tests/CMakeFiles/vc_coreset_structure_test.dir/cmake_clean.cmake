@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_coreset_structure_test.dir/vc_coreset_structure_test.cpp.o"
+  "CMakeFiles/vc_coreset_structure_test.dir/vc_coreset_structure_test.cpp.o.d"
+  "vc_coreset_structure_test"
+  "vc_coreset_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_coreset_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_coreset_test.dir/weighted_coreset_test.cpp.o"
+  "CMakeFiles/weighted_coreset_test.dir/weighted_coreset_test.cpp.o.d"
+  "weighted_coreset_test"
+  "weighted_coreset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_coreset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

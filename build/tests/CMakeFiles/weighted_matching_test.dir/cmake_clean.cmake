@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_matching_test.dir/weighted_matching_test.cpp.o"
+  "CMakeFiles/weighted_matching_test.dir/weighted_matching_test.cpp.o.d"
+  "weighted_matching_test"
+  "weighted_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

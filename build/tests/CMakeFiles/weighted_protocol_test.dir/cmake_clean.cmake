@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_protocol_test.dir/weighted_protocol_test.cpp.o"
+  "CMakeFiles/weighted_protocol_test.dir/weighted_protocol_test.cpp.o.d"
+  "weighted_protocol_test"
+  "weighted_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_vc_test.dir/weighted_vc_test.cpp.o"
+  "CMakeFiles/weighted_vc_test.dir/weighted_vc_test.cpp.o.d"
+  "weighted_vc_test"
+  "weighted_vc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_vc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
