@@ -111,6 +111,19 @@ auto run_protocol_on_pieces(const std::vector<std::span<const EdgeT>>& pieces,
   return result;
 }
 
+/// Adapts a sharded partition into engine pieces (zero-copy arena slices;
+/// the partition must outlive the call).
+template <typename EdgeT>
+std::vector<std::span<const EdgeT>> pieces_of(
+    const ShardedPartition<EdgeT>& parts) {
+  std::vector<std::span<const EdgeT>> pieces;
+  pieces.reserve(parts.num_machines());
+  for (std::size_t i = 0; i < parts.num_machines(); ++i) {
+    pieces.push_back(parts.shard(i));
+  }
+  return pieces;
+}
+
 /// The full pipeline: sharded random partition, then machines + combine.
 /// The partition and machine phases both run on `pool` when provided.
 template <typename EdgeT, typename Build, typename Account, typename Combine>
@@ -122,11 +135,9 @@ auto run_protocol(std::span<const EdgeT> edges, VertexId num_vertices,
   const ShardedPartition<EdgeT> parts(edges, num_vertices, k, rng, pool);
   const double partition_seconds = timer.seconds();
 
-  std::vector<std::span<const EdgeT>> pieces;
-  pieces.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) pieces.push_back(parts.shard(i));
-  auto result = run_protocol_on_pieces<EdgeT>(pieces, num_vertices, left_size,
-                                              rng, pool, build, account, combine);
+  auto result = run_protocol_on_pieces<EdgeT>(pieces_of(parts), num_vertices,
+                                              left_size, rng, pool, build,
+                                              account, combine);
   result.timing.partition_seconds = partition_seconds;
   return result;
 }

@@ -1,131 +1,124 @@
 #include "mpc/coreset_mpc.hpp"
 
+#include <utility>
+
 #include "coreset/compose.hpp"
 #include "coreset/matching_coresets.hpp"
 #include "coreset/vc_coreset.hpp"
-#include "partition/sharded_partition.hpp"
+#include "matching/greedy.hpp"
 
 namespace rcc {
 
 namespace {
 
-/// Shared round-1 logic: from an adversarial placement, every machine
-/// scatters its edges uniformly at random; the union of what machine j
-/// receives is then a random k-partitioning of G (each edge lands on a
-/// uniform machine independently, regardless of where it started).
-std::vector<EdgeList> reshuffle_round(const std::vector<EdgeList>& placed,
-                                      MpcLedger& ledger, Rng& rng) {
-  const std::size_t k = ledger.config().num_machines;
-  const VertexId n = placed.front().num_vertices();
-  ledger.begin_round("re-partition");
-  std::vector<EdgeList> received(k, EdgeList(n));
-  for (std::size_t src = 0; src < k; ++src) {
-    // Sender must hold its input this round.
-    ledger.charge(src, 2 * placed[src].num_edges());
-    for (const Edge& e : placed[src]) {
-      received[rng.next_below(k)].add(e);
-    }
-  }
-  for (std::size_t dst = 0; dst < k; ++dst) {
-    ledger.charge(dst, 2 * received[dst].num_edges());
-  }
-  return received;
+MpcEngineConfig single_round_config(const MpcConfig& mpc,
+                                    bool input_already_random) {
+  MpcEngineConfig config;
+  config.mpc = mpc;
+  config.max_rounds = 1;
+  config.input_already_random = input_already_random;
+  return config;
 }
 
-/// Machine pieces for the coreset round. When the input is already randomly
-/// partitioned, the pieces are zero-copy shards of one sharded-partition
-/// arena; after an adversarial reshuffle they view the delivered per-machine
-/// messages (which the shuffle round had to materialize anyway).
-struct CoresetRoundInput {
-  ShardedPartition<Edge> sharded;       // random-input case
-  std::vector<EdgeList> received;       // reshuffle case
-
-  static CoresetRoundInput make(const EdgeList& graph, const MpcConfig& config,
-                                bool input_already_random, MpcLedger& ledger,
-                                Rng& rng) {
-    CoresetRoundInput input;
-    if (input_already_random) {
-      input.sharded = shard_random(graph, config.num_machines, rng);
-    } else {
-      input.received = reshuffle_round(
-          initial_adversarial_placement(graph, config.num_machines), ledger, rng);
-    }
-    return input;
-  }
-
-  EdgeSpan piece(std::size_t i) const {
-    if (received.empty()) return shard_span(sharded, i);
-    return EdgeSpan(received[i]);
-  }
-};
-
 }  // namespace
+
+CoresetMpcMatchingResult coreset_mpc_matching_rounds(
+    const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
+    Rng& rng, ThreadPool* pool) {
+  const MaximumMatchingCoreset coreset;
+  Matching matched(graph.num_vertices());
+
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    return coreset.build(piece, ctx, machine_rng);
+  };
+  const auto account = [](const EdgeList& summary) {
+    return MessageSize{summary.num_edges(), 0};
+  };
+  const auto fold = [&](std::vector<EdgeList>& summaries, MpcRoundContext& ctx,
+                        Rng& coordinator_rng) {
+    // Every round's input has both endpoints unmatched, so the round
+    // matching is vertex-disjoint from the cumulative one and the extension
+    // keeps all of it (round 0: the whole single-round solution).
+    const Matching round_matching = compose_matching_coresets(
+        summaries, ComposeSolver::kMaximum, left_size, coordinator_rng);
+    greedy_extend(matched, round_matching.to_edge_list());
+    return ctx.active_edges().filter([&](const Edge& e) {
+      return !matched.is_matched(e.u) && !matched.is_matched(e.v);
+    });
+  };
+
+  CoresetMpcMatchingResult result;
+  result.stats =
+      run_mpc_rounds(graph, config, left_size, rng, pool, build, account, fold);
+  result.matching = std::move(matched);
+  result.rounds = result.stats.mpc_rounds;
+  result.max_memory_words = result.stats.max_memory_words;
+  return result;
+}
+
+CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(const EdgeList& graph,
+                                                   const MpcEngineConfig& config,
+                                                   Rng& rng, ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  const PeelingVcCoreset coreset;
+  VertexCover cover(n);
+
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    return coreset.build(piece, ctx, machine_rng);
+  };
+  const auto account = [](const VcCoresetOutput& summary) {
+    return MessageSize{summary.residual_edges.num_edges(),
+                       summary.fixed_vertices.size()};
+  };
+  const auto fold = [&](std::vector<VcCoresetOutput>& summaries,
+                        MpcRoundContext& ctx, Rng& coordinator_rng) {
+    if (!ctx.last_round()) {
+      // Intermediate round: commit only the peeled (fixed) vertices and
+      // carry the edges they do not cover. If no machine peeled anything,
+      // another identical round cannot make progress — finish now instead.
+      VertexCover fixed(n);
+      for (const VcCoresetOutput& s : summaries) {
+        for (VertexId v : s.fixed_vertices) fixed.insert(v);
+      }
+      if (fixed.size() > 0) {
+        cover.merge(fixed);
+        return ctx.active_edges().filter([&](const Edge& e) {
+          return !cover.contains(e.u) && !cover.contains(e.v);
+        });
+      }
+    }
+    // Final round: the full composition (fixed vertices + 2-approximation
+    // of the residual union) covers everything still active.
+    cover.merge(compose_vc_coresets(summaries, n, coordinator_rng));
+    ctx.request_stop();
+    return EdgeList(n);
+  };
+
+  CoresetMpcVcResult result;
+  result.stats = run_mpc_rounds(graph, config, /*left_size=*/0, rng, pool,
+                                build, account, fold);
+  result.cover = std::move(cover);
+  result.rounds = result.stats.mpc_rounds;
+  result.max_memory_words = result.stats.max_memory_words;
+  return result;
+}
 
 CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
                                               const MpcConfig& config,
                                               bool input_already_random,
                                               VertexId left_size, Rng& rng) {
-  MpcLedger ledger(config);
-  const std::size_t k = config.num_machines;
-  const VertexId n = graph.num_vertices();
-
-  const CoresetRoundInput input =
-      CoresetRoundInput::make(graph, config, input_already_random, ledger, rng);
-
-  // Coreset round: every machine sends its maximum matching to machine 0.
-  ledger.begin_round("coreset-and-collect");
-  const MaximumMatchingCoreset coreset;
-  std::vector<EdgeList> summaries;
-  summaries.reserve(k);
-  std::uint64_t collected_words = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const EdgeSpan piece = input.piece(i);
-    ledger.charge(i, 2 * piece.num_edges());
-    PartitionContext ctx{n, k, i, left_size};
-    summaries.push_back(coreset.build(piece, ctx, rng));
-    collected_words += 2 * summaries.back().num_edges();
-  }
-  ledger.charge(0, collected_words);  // machine M stores all k coresets
-
-  CoresetMpcMatchingResult result;
-  result.matching = compose_matching_coresets(summaries, ComposeSolver::kMaximum,
-                                              left_size, rng);
-  result.rounds = ledger.rounds();
-  result.max_memory_words = ledger.max_memory_words();
-  return result;
+  return coreset_mpc_matching_rounds(
+      graph, single_round_config(config, input_already_random), left_size, rng);
 }
 
 CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
                                             const MpcConfig& config,
                                             bool input_already_random,
                                             Rng& rng) {
-  MpcLedger ledger(config);
-  const std::size_t k = config.num_machines;
-  const VertexId n = graph.num_vertices();
-
-  const CoresetRoundInput input =
-      CoresetRoundInput::make(graph, config, input_already_random, ledger, rng);
-
-  ledger.begin_round("coreset-and-collect");
-  const PeelingVcCoreset coreset;
-  std::vector<VcCoresetOutput> summaries;
-  summaries.reserve(k);
-  std::uint64_t collected_words = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const EdgeSpan piece = input.piece(i);
-    ledger.charge(i, 2 * piece.num_edges());
-    PartitionContext ctx{n, k, i, 0};
-    summaries.push_back(coreset.build(piece, ctx, rng));
-    collected_words += 2 * summaries.back().residual_edges.num_edges() +
-                       summaries.back().fixed_vertices.size();
-  }
-  ledger.charge(0, collected_words);
-
-  CoresetMpcVcResult result;
-  result.cover = compose_vc_coresets(summaries, n, rng);
-  result.rounds = ledger.rounds();
-  result.max_memory_words = ledger.max_memory_words();
-  return result;
+  return coreset_mpc_vertex_cover_rounds(
+      graph, single_round_config(config, input_already_random), rng);
 }
 
 }  // namespace rcc

@@ -8,10 +8,19 @@
 //
 // If the input is random-partitioned to begin with, Round 1 is skipped and
 // the whole computation takes a single round.
+//
+// The *_rounds entry points iterate Round 2 on the multi-round executor
+// (mpc_engine.hpp): each further round re-partitions the edges the current
+// solution leaves open and composes coresets of the residual, which can only
+// grow the matching (the round-iteration structure of "Coresets Meet EDCS",
+// arXiv:1711.03076). The legacy single-round signatures are thin wrappers
+// with max_rounds = 1.
 #pragma once
 
 #include "matching/matching.hpp"
 #include "mpc/mpc.hpp"
+#include "mpc/mpc_engine.hpp"
+#include "util/thread_pool.hpp"
 #include "vertex_cover/vertex_cover.hpp"
 
 namespace rcc {
@@ -20,13 +29,35 @@ struct CoresetMpcMatchingResult {
   Matching matching;
   std::size_t rounds = 0;
   std::uint64_t max_memory_words = 0;
+  MpcExecutionStats stats;
 };
 
 struct CoresetMpcVcResult {
   VertexCover cover;
   std::size_t rounds = 0;
   std::uint64_t max_memory_words = 0;
+  MpcExecutionStats stats;
 };
+
+/// Iterated coreset rounds for matching: round r composes maximum-matching
+/// coresets of the edges both of whose endpoints the cumulative matching
+/// leaves unmatched, and extends the matching with the result. Round 0 is
+/// exactly the single-round protocol (seed-for-seed); every later round can
+/// only add edges, so the approximation is monotone in config.max_rounds.
+/// `left_size` > 0 enables the exact bipartite solver on machine M.
+CoresetMpcMatchingResult coreset_mpc_matching_rounds(
+    const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
+    Rng& rng, ThreadPool* pool = nullptr);
+
+/// Iterated coreset rounds for vertex cover: intermediate rounds commit only
+/// the machines' fixed (peeled) vertices and re-partition the edges they do
+/// not cover; the final round closes the cover with the full composition
+/// (fixed vertices + 2-approximation of the residual union), so the result
+/// is always feasible. With max_rounds = 1 this is the single-round
+/// protocol.
+CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
+    const EdgeList& graph, const MpcEngineConfig& config, Rng& rng,
+    ThreadPool* pool = nullptr);
 
 /// O(1)-approximate maximum matching in <= 2 MPC rounds. `left_size` > 0
 /// enables the exact bipartite solver on machine M.

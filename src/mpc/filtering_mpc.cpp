@@ -1,62 +1,112 @@
 #include "mpc/filtering_mpc.hpp"
 
-#include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "matching/greedy.hpp"
 
 namespace rcc {
 
-FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
-                                 Rng& rng) {
-  MpcLedger ledger(config);
+FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
+                                        const MpcEngineConfig& config, Rng& rng,
+                                        ThreadPool* pool) {
   const VertexId n = graph.num_vertices();
-  const std::uint64_t memory_edges = config.memory_words / 2;
+  const std::uint64_t memory_edges = config.mpc.memory_words / 2;
   RCC_CHECK(memory_edges > 0);
 
+  MpcEngineConfig engine_config = config;
+  // Filtering never reshuffles (sampling is oblivious to placement), models
+  // map-side residency in its own broadcast step, and must keep resampling
+  // even when an unlucky round makes no progress.
+  engine_config.input_already_random = true;
+  engine_config.charge_input_residency = false;
+  engine_config.early_stop = false;
+  engine_config.round_label = "sample-and-match";
+
   FilteringMpcResult result;
+  result.completed = false;
   Matching m(n);
-  EdgeList active = graph;
 
-  while (active.num_edges() > memory_edges) {
-    ++result.filter_iterations;
-    // Sample-and-match round: expected sample of memory_edges/2 edges lands
-    // on the central machine (machine 0), leaving room for slack.
-    const double p = static_cast<double>(memory_edges) /
-                     (2.0 * static_cast<double>(active.num_edges()));
-    ledger.begin_round("sample-and-match");
-    const EdgeList sample = active.subsample(p, rng);
-    ledger.charge(0, 2 * sample.num_edges());
-    greedy_extend(m, sample);  // maximal matching of the sample, merged
+  // The coordinator's plan for the next round, updated in the fold (it rides
+  // the V(M) broadcast in the real protocol): ship everything once the
+  // residual fits on one machine, otherwise sample at a rate that lands an
+  // expected memory/2 words on the central machine.
+  bool finish = false;
+  double rate = 1.0;
+  const auto plan_for = [&](std::size_t active_edges) {
+    finish = active_edges <= memory_edges;
+    rate = finish ? 1.0
+                  : static_cast<double>(memory_edges) /
+                        (2.0 * static_cast<double>(active_edges));
+  };
+  plan_for(graph.num_edges());
 
-    // Filter round: matched vertices are broadcast; machines drop covered
-    // edges. Broadcast cost: |V(M)| words on every machine; the residency of
-    // each machine's shard is charged too.
-    ledger.begin_round("broadcast-and-filter");
-    active = active.filter(
-        [&](const Edge& e) { return !m.is_matched(e.u) && !m.is_matched(e.v); });
-    const std::uint64_t shard =
-        (2 * active.num_edges()) / config.num_machines + 2;
-    for (std::size_t i = 0; i < config.num_machines; ++i) {
-      ledger.charge(i, shard + 2 * m.size());
+  const auto build = [&](EdgeSpan piece, const PartitionContext&,
+                         Rng& machine_rng) {
+    if (finish) return piece.to_edge_list();  // residual fits: ship it all
+    return piece.filter(
+        [&](const Edge&) { return machine_rng.bernoulli(rate); });
+  };
+  const auto account = [](const EdgeList& summary) {
+    return MessageSize{summary.num_edges(), 0};
+  };
+  const auto fold = [&](std::vector<EdgeList>& summaries, MpcRoundContext& ctx,
+                        Rng&) {
+    // Central machine: maximal matching of the collected sample, merged.
+    for (const EdgeList& sample : summaries) greedy_extend(m, sample);
+    if (finish) {
+      result.completed = true;
+      ctx.request_stop();
+      return EdgeList(n);
     }
+    ++result.filter_iterations;
+
+    // Second super-step of the iteration: broadcast V(M); every machine
+    // keeps its residual shard plus the matched-vertex list resident and
+    // drops covered edges.
+    ctx.begin_round("broadcast-and-filter");
+    EdgeList survivors = ctx.active_edges().filter([&](const Edge& e) {
+      return !m.is_matched(e.u) && !m.is_matched(e.v);
+    });
+    const std::uint64_t shard =
+        (2 * survivors.num_edges()) / ctx.num_machines() + 2;
+    ctx.charge_all(shard + 2 * m.size());
+    if (survivors.empty()) {
+      // Every edge of G is covered: m is already maximal, no finish needed.
+      result.completed = true;
+    } else {
+      plan_for(survivors.num_edges());
+    }
+    return survivors;
+  };
+
+  result.stats = run_mpc_rounds(graph, engine_config, /*left_size=*/0, rng,
+                                pool, build, account, fold);
+
+  if (result.completed) {
+    RCC_CHECK(m.maximal_in(graph));
   }
-
-  // Finish round: residual fits in one machine; complete the matching there.
-  ledger.begin_round("finish");
-  ledger.charge(0, 2 * active.num_edges());
-  greedy_extend(m, active);
-
-  RCC_CHECK(m.maximal_in(graph));
   result.cover = VertexCover(n);
   for (const Edge& e : m.to_edge_list()) {
     result.cover.insert(e.u);
     result.cover.insert(e.v);
   }
-  RCC_CHECK(result.cover.covers(graph));
+  if (result.completed) {
+    RCC_CHECK(result.cover.covers(graph));
+  }
   result.maximal_matching = std::move(m);
-  result.rounds = ledger.rounds();
-  result.max_memory_words = ledger.max_memory_words();
+  result.rounds = result.stats.mpc_rounds;
+  result.max_memory_words = result.stats.max_memory_words;
   return result;
+}
+
+FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
+                                 Rng& rng) {
+  MpcEngineConfig engine_config;
+  engine_config.mpc = config;
+  // The legacy loop runs until the residual fits on one machine.
+  engine_config.max_rounds = std::numeric_limits<std::size_t>::max();
+  return filtering_mpc_rounds(graph, engine_config, rng);
 }
 
 }  // namespace rcc

@@ -15,10 +15,19 @@
 // V(M) is a 2-approximate vertex cover. With memory n^{1+eps} the loop runs
 // O(1/eps) times w.h.p.; at the paper's O~(n sqrt(n)) memory this comes to
 // ~3 iterations = ~6 rounds, versus 2 rounds for the coreset algorithm.
+//
+// filtering_mpc_rounds runs the loop on the multi-round executor
+// (mpc_engine.hpp): each filter iteration is one executor round whose
+// machine phase draws the Bernoulli sample and whose round-combiner merges
+// the sample, declares the broadcast-and-filter super-step, and carries the
+// uncovered edges forward. The legacy filtering_mpc signature is a thin
+// wrapper with an unbounded round cap.
 #pragma once
 
 #include "matching/matching.hpp"
 #include "mpc/mpc.hpp"
+#include "mpc/mpc_engine.hpp"
+#include "util/thread_pool.hpp"
 #include "vertex_cover/vertex_cover.hpp"
 
 namespace rcc {
@@ -29,7 +38,20 @@ struct FilteringMpcResult {
   std::size_t rounds = 0;
   std::size_t filter_iterations = 0;
   std::uint64_t max_memory_words = 0;
+  /// False only if config.max_rounds capped the loop before the residual fit
+  /// on one machine; the matching is then valid but possibly not maximal.
+  bool completed = true;
+  MpcExecutionStats stats;
 };
+
+/// Filtering on the multi-round executor. config.max_rounds caps the filter
+/// iterations (the finish step counts as one executor round too);
+/// config.input_already_random and config.charge_input_residency are
+/// overridden to the filtering model's accounting (no reshuffle; map-side
+/// residency is charged by the broadcast step itself).
+FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
+                                        const MpcEngineConfig& config, Rng& rng,
+                                        ThreadPool* pool = nullptr);
 
 FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
                                  Rng& rng);

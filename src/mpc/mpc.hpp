@@ -48,9 +48,17 @@ class MpcLedger {
   std::uint64_t max_memory_words() const { return max_memory_words_; }
   const std::vector<std::string>& round_labels() const { return round_labels_; }
 
+  /// Peak single-machine residency of each declared round (parallel to
+  /// round_labels()); the multi-round executor reports these against the
+  /// per-machine budget.
+  const std::vector<std::uint64_t>& round_peak_words() const {
+    return round_peak_words_;
+  }
+
  private:
   MpcConfig config_;
   std::vector<std::string> round_labels_;
+  std::vector<std::uint64_t> round_peak_words_;
   std::vector<std::uint64_t> current_round_usage_;
   std::uint64_t max_memory_words_ = 0;
 };
@@ -59,5 +67,17 @@ class MpcLedger {
 /// placement: contiguous chunks, the worst case for locality.
 std::vector<EdgeList> initial_adversarial_placement(const EdgeList& graph,
                                                     std::size_t num_machines);
+
+/// The re-partition round that precedes coreset computation on adversarially
+/// placed input (coreset_mpc.hpp, Round 1): every machine scatters its edges
+/// uniformly at random, so the union each machine receives is a random
+/// k-partitioning of G. Charges the ledger for both sides of the shuffle:
+/// senders hold their chunks of the adversarial placement (sizes derived
+/// from `num_edges`), receivers hold `delivered[j]` edges each — the shard
+/// sizes of the random partition the next round actually processes, so the
+/// accounting describes the realized shuffle, not a simulated one.
+void mpc_reshuffle_round(std::size_t num_edges,
+                         const std::vector<std::size_t>& delivered,
+                         MpcLedger& ledger);
 
 }  // namespace rcc

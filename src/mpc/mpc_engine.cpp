@@ -1,0 +1,60 @@
+#include "mpc/mpc_engine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/options.hpp"
+
+namespace rcc {
+
+namespace {
+
+/// Flag values that parse but make no sense get the same friendly exit(2)
+/// treatment as unparsable ones (Options philosophy: typos in experiment
+/// parameters must not silently run the wrong configuration).
+std::int64_t flag_at_least(const Options& options, const char* name,
+                           std::int64_t minimum) {
+  const std::int64_t value = options.get_int(name);
+  if (value < minimum) {
+    std::fprintf(stderr, "flag --%s: %lld is out of range (minimum %lld)\n",
+                 name, static_cast<long long>(value),
+                 static_cast<long long>(minimum));
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+void add_mpc_engine_flags(Options& options) {
+  options
+      .flag("mpc-machines", "0",
+            "MPC cluster size k (0 = paper default, sqrt(n))")
+      .flag("mpc-memory-budget", "0",
+            "per-machine memory budget in words (0 = paper default)")
+      .flag("mpc-rounds", "1", "multi-round executor iterations")
+      .flag("mpc-random-input", "true",  // matches MpcEngineConfig's default
+            "input is already randomly partitioned (skips the re-partition "
+            "round)")
+      .flag("mpc-early-stop", "true",
+            "stop as soon as a round makes no progress");
+}
+
+MpcEngineConfig mpc_engine_config_from_options(const Options& options,
+                                               VertexId n) {
+  const MpcConfig fallback = MpcConfig::paper_default(n);
+  MpcEngineConfig config;
+  const std::int64_t machines = flag_at_least(options, "mpc-machines", 0);
+  const std::int64_t budget = flag_at_least(options, "mpc-memory-budget", 0);
+  config.mpc.num_machines = machines > 0 ? static_cast<std::size_t>(machines)
+                                         : fallback.num_machines;
+  config.mpc.memory_words =
+      budget > 0 ? static_cast<std::uint64_t>(budget) : fallback.memory_words;
+  config.max_rounds =
+      static_cast<std::size_t>(flag_at_least(options, "mpc-rounds", 1));
+  config.input_already_random = options.get_bool("mpc-random-input");
+  config.early_stop = options.get_bool("mpc-early-stop");
+  return config;
+}
+
+}  // namespace rcc

@@ -1,0 +1,265 @@
+// Multi-round MPC executor: repeated ProtocolEngine rounds over a shrinking
+// edge set.
+//
+// The paper's MapReduce application (Section 1.1) runs the coreset protocol
+// as ONE round of an MPC computation; iterating that round on the edges the
+// current solution leaves uncovered drives the approximation down (the
+// round-iteration structure of Assadi et al., "Coresets Meet EDCS",
+// arXiv:1711.03076). This executor is the generic driver for that loop:
+//
+//   per round:
+//     partition — the surviving edges are scattered by the sharded
+//                 single-arena partitioner (zero-copy shards),
+//     machines  — one summary task per machine on the thread pool via
+//                 run_protocol_on_pieces (forked RNG streams),
+//     combine   — a pluggable ROUND-COMBINER folds the k summaries into the
+//                 caller's cumulative solution and returns the edges that
+//                 survive into the next round.
+//
+// Instantiating the executor is the engine's three-lambda pattern with the
+// combine phase upgraded to a fold:
+//
+//   build(piece, ctx, rng)      -> Summary     (unchanged from the engine)
+//   account(summary)            -> MessageSize (unchanged from the engine)
+//   fold(summaries, round, rng) -> EdgeList    survivors for the next round;
+//       `round` is an MpcRoundContext: the round's input edges, the round
+//       index, and ledger access for protocols that model extra super-steps
+//       (e.g. filtering's broadcast round).
+//
+// Resources are accounted like the single-round simulator: every super-step
+// is declared on an MpcLedger, every machine's residency is charged against
+// the configured per-machine budget (the paper's s = O~(n sqrt(n)) regime at
+// k = sqrt(n) machines), and the run aborts if any machine overfills. The
+// returned MpcExecutionStats carries per-round communication words, phase
+// timings, and per-machine peak memory.
+//
+// coreset_mpc.cpp and filtering_mpc.cpp are the two in-tree instantiations;
+// the legacy single-round entry points are thin wrappers over them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distributed/protocol_engine.hpp"
+#include "graph/edge_list.hpp"
+#include "mpc/mpc.hpp"
+#include "partition/sharded_partition.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rcc {
+
+class Options;
+
+/// Knobs of a multi-round execution.
+struct MpcEngineConfig {
+  MpcConfig mpc;  // cluster shape: k machines x per-machine word budget
+
+  /// Executor iterations allowed (>= 1); each runs one ProtocolEngine round
+  /// on the surviving edges.
+  std::size_t max_rounds = 1;
+
+  /// When false, an extra "re-partition" super-step is charged up front:
+  /// adversarially placed input must be shuffled before the first coreset
+  /// round (coreset_mpc.hpp, Round 1).
+  bool input_already_random = true;
+
+  /// Stop as soon as an iteration leaves the surviving edge set unchanged
+  /// (the combiner made no progress). Runs always stop when no edges
+  /// survive or the fold requests it.
+  bool early_stop = true;
+
+  /// Charge every machine 2*|shard| words for holding its piece of the
+  /// round's input (the coreset algorithms' accounting). Protocols that
+  /// model map-side residency themselves (filtering) turn this off.
+  bool charge_input_residency = true;
+
+  /// Ledger label prefix for executor-declared super-steps.
+  std::string round_label = "coreset-round";
+};
+
+/// What the round-combiner sees of one round: the input edge set it folds,
+/// its position in the schedule, and ledger access for extra super-steps.
+class MpcRoundContext {
+ public:
+  MpcRoundContext(MpcLedger& ledger, EdgeSpan active, std::size_t round_index,
+                  std::size_t max_rounds)
+      : ledger_(ledger),
+        active_(active),
+        round_index_(round_index),
+        max_rounds_(max_rounds) {}
+
+  /// This round's input edges: a view of the partition arena (shards
+  /// concatenated), valid only during the fold call.
+  EdgeSpan active_edges() const { return active_; }
+
+  std::size_t round_index() const { return round_index_; }  // 0-based
+  bool last_round() const { return round_index_ + 1 == max_rounds_; }
+  std::size_t num_machines() const { return ledger_.config().num_machines; }
+  std::uint64_t memory_budget_words() const {
+    return ledger_.config().memory_words;
+  }
+
+  /// Ledger passthroughs: a combiner that needs more than the collect step
+  /// (e.g. filtering's broadcast-and-filter) declares its own super-steps
+  /// and charges the residency they create.
+  void begin_round(const std::string& label) { ledger_.begin_round(label); }
+  void charge(std::size_t machine, std::uint64_t words) {
+    ledger_.charge(machine, words);
+  }
+  void charge_all(std::uint64_t words) {
+    for (std::size_t i = 0; i < num_machines(); ++i) ledger_.charge(i, words);
+  }
+
+  /// Ends the execution after this round even if survivors remain.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+ private:
+  MpcLedger& ledger_;
+  EdgeSpan active_;
+  std::size_t round_index_;
+  std::size_t max_rounds_;
+  bool stop_requested_ = false;
+};
+
+/// One executor iteration (one ProtocolEngine round; may span several ledger
+/// super-steps when the fold declares more). Super-steps declared before the
+/// first iteration — the re-partition round of adversarially placed input —
+/// belong to no iteration: they appear only in MpcExecutionStats'
+/// round_labels / round_peak_words ledger view, so the per-round peaks need
+/// not reach max_memory_words on adversarial runs.
+struct MpcRoundReport {
+  std::size_t round_index = 0;
+  std::size_t active_edges = 0;     // edges entering the iteration
+  std::size_t surviving_edges = 0;  // edges carried into the next one
+  std::uint64_t comm_words = 0;     // summary words collected by machine M
+  std::uint64_t peak_machine_words = 0;  // peak residency across its steps
+  ProtocolTiming timing;
+};
+
+/// Cumulative resource story of one multi-round run.
+struct MpcExecutionStats {
+  std::size_t mpc_rounds = 0;     // ledger super-steps, incl. re-partition
+  std::size_t engine_rounds = 0;  // executor iterations actually run
+  std::uint64_t max_memory_words = 0;
+  std::uint64_t total_comm_words = 0;
+  ProtocolTiming total_timing;
+  std::vector<MpcRoundReport> per_round;
+  std::vector<std::string> round_labels;        // one per ledger super-step
+  std::vector<std::uint64_t> round_peak_words;  // parallel to round_labels
+};
+
+/// Drives up to config.max_rounds ProtocolEngine rounds. The caller's
+/// cumulative solution lives in the fold's captures; the executor owns the
+/// shrinking edge set, the ledger, and the per-round accounting.
+template <typename Build, typename Account, typename Fold>
+MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
+                                 const MpcEngineConfig& config,
+                                 VertexId left_size, Rng& rng, ThreadPool* pool,
+                                 const Build& build, const Account& account,
+                                 const Fold& fold) {
+  const std::size_t k = config.mpc.num_machines;
+  RCC_CHECK(k >= 1);
+  RCC_CHECK(config.max_rounds >= 1);
+  const VertexId n = graph.num_vertices();
+
+  MpcLedger ledger(config.mpc);
+  MpcExecutionStats stats;
+
+  EdgeList survivors;  // owns the shrinking edge set after round 0
+  for (std::size_t r = 0; r < config.max_rounds; ++r) {
+    const EdgeList& input = (r == 0) ? graph : survivors;
+
+    // Partition phase: the engine's sharded single-arena partitioner over
+    // the surviving edges.
+    WallTimer timer;
+    const ShardedPartition<Edge> parts(
+        std::span<const Edge>(input.edges().data(), input.num_edges()), n, k,
+        rng, pool);
+    const double partition_seconds = timer.seconds();
+
+    if (r == 0 && !config.input_already_random) {
+      // Adversarially placed input pays the shuffle super-step first; the
+      // receiver side is charged with the shard sizes round 0 actually
+      // processes (the realized random k-partitioning).
+      std::vector<std::size_t> delivered(k);
+      for (std::size_t i = 0; i < k; ++i) delivered[i] = parts.shard_size(i);
+      mpc_reshuffle_round(input.num_edges(), delivered, ledger);
+    }
+
+    const std::size_t first_step = ledger.rounds();
+    ledger.begin_round(config.round_label + "-" + std::to_string(r));
+    if (config.charge_input_residency) {
+      for (std::size_t i = 0; i < k; ++i) {
+        ledger.charge(i, 2 * parts.shard_size(i));
+      }
+    }
+
+    // Machine + combine phases on the ProtocolEngine. Machine M is charged
+    // for the collected summaries before the fold runs (and before any
+    // super-step the fold opens), mirroring the coreset round's "send
+    // everything to M" collect.
+    MpcRoundContext round_ctx(
+        ledger, EdgeSpan(parts.arena().data(), parts.num_edges(), n), r,
+        config.max_rounds);
+    auto result = run_protocol_on_pieces<Edge>(
+        pieces_of(parts), n, left_size, rng, pool, build, account,
+        [&](auto& summaries, Rng& coordinator_rng) {
+          std::uint64_t collected = 0;
+          for (const auto& s : summaries) collected += account(s).words();
+          ledger.charge(0, collected);
+          return fold(summaries, round_ctx, coordinator_rng);
+        });
+    result.timing.partition_seconds = partition_seconds;
+
+    const std::size_t active = input.num_edges();
+    survivors = std::move(result.solution);
+    ++stats.engine_rounds;
+    stats.total_comm_words += result.comm.total_words();
+    stats.total_timing.partition_seconds += result.timing.partition_seconds;
+    stats.total_timing.summaries_seconds += result.timing.summaries_seconds;
+    stats.total_timing.combine_seconds += result.timing.combine_seconds;
+
+    MpcRoundReport report;
+    report.round_index = r;
+    report.active_edges = active;
+    report.surviving_edges = survivors.num_edges();
+    report.comm_words = result.comm.total_words();
+    for (std::size_t s = first_step; s < ledger.rounds(); ++s) {
+      report.peak_machine_words =
+          std::max(report.peak_machine_words, ledger.round_peak_words()[s]);
+    }
+    report.timing = result.timing;
+    stats.per_round.push_back(report);
+
+    if (round_ctx.stop_requested() || survivors.empty()) break;
+    if (config.early_stop && survivors.num_edges() == active) break;
+  }
+
+  stats.mpc_rounds = ledger.rounds();
+  stats.max_memory_words = ledger.max_memory_words();
+  stats.round_labels = ledger.round_labels();
+  stats.round_peak_words = ledger.round_peak_words();
+  return stats;
+}
+
+/// Registers the executor's command-line knobs on an Options parser:
+///   --mpc-machines       cluster size k (0 = paper default, sqrt(n))
+///   --mpc-memory-budget  per-machine budget in words (0 = paper default,
+///                        the O~(n sqrt(n)) regime)
+///   --mpc-rounds         executor iterations (multi-round MPC)
+///   --mpc-random-input   input already randomly partitioned (skips the
+///                        re-partition round)
+///   --mpc-early-stop     stop when a round makes no progress
+void add_mpc_engine_flags(Options& options);
+
+/// Reads the knobs registered by add_mpc_engine_flags back into a config for
+/// an n-vertex instance (zeros fall back to MpcConfig::paper_default(n)).
+MpcEngineConfig mpc_engine_config_from_options(const Options& options,
+                                               VertexId n);
+
+}  // namespace rcc

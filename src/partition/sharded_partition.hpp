@@ -181,6 +181,15 @@ class ShardedPartition {
     return {arena + offsets_[i], arena + offsets_[i + 1]};
   }
 
+  /// The whole partitioned edge set as one contiguous view (the shards
+  /// concatenated in machine order). The multi-round MPC executor hands this
+  /// to its round-combiner so survivors can be filtered without re-collecting
+  /// the pieces.
+  std::span<const EdgeT> arena() const {
+    const EdgeT* arena = reinterpret_cast<const EdgeT*>(arena_storage_.get());
+    return {arena, num_edges_};
+  }
+
   std::size_t shard_size(std::size_t i) const {
     return offsets_[i + 1] - offsets_[i];
   }

@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,11 +64,29 @@ std::string Options::get_string(const std::string& name) const {
 }
 
 std::int64_t Options::get_int(const std::string& name) const {
-  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "flag --%s: '%s' is not a representable integer\n",
+                 name.c_str(), v.c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 double Options::get_double(const std::string& name) const {
-  return std::strtod(get_string(name).c_str(), nullptr);
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "flag --%s: '%s' is not a representable number\n",
+                 name.c_str(), v.c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 bool Options::get_bool(const std::string& name) const {
