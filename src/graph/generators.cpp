@@ -107,6 +107,33 @@ EdgeList complete_bipartite(VertexId nL, VertexId nR) {
   return out;
 }
 
+EdgeList crown(VertexId n_per_side) {
+  RCC_CHECK(n_per_side >= 2);
+  EdgeList out(2 * n_per_side);
+  out.reserve(static_cast<std::size_t>(n_per_side) * (n_per_side - 1));
+  for (VertexId i = 0; i < n_per_side; ++i) {
+    for (VertexId j = 0; j < n_per_side; ++j) {
+      if (i != j) out.add(i, n_per_side + j);
+    }
+  }
+  return out;
+}
+
+EdgeList crown_forest(VertexId count, VertexId size) {
+  RCC_CHECK(size >= 2);
+  const VertexId per_crown = 2 * size;
+  EdgeList out(count * per_crown);
+  for (VertexId c = 0; c < count; ++c) {
+    const VertexId base = c * per_crown;
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = 0; j < size; ++j) {
+        if (i != j) out.add(base + i, base + size + j);
+      }
+    }
+  }
+  return out;
+}
+
 EdgeList star(VertexId n) {
   RCC_CHECK(n >= 2);
   EdgeList out(n);

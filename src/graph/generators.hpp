@@ -36,6 +36,21 @@ EdgeList random_perfect_matching(VertexId n_per_side, Rng& rng);
 /// Complete bipartite K(nL, nR).
 EdgeList complete_bipartite(VertexId nL, VertexId nR);
 
+/// Crown graph S_n^0: K(n, n) minus the perfect matching (a_i, b_i) — every
+/// left vertex i adjacent to every right vertex n + j with j != i. Has a
+/// perfect matching for n >= 2, but a near-perfect matching that strands the
+/// SAME index on both sides (a_d and b_d free) is maximal — the "missing
+/// diagonal" kills the free-free edge — so greedy extension gets stuck one
+/// edge short while a single length-3 augmenting path closes the gap. This
+/// is the separator family for the augmenting-path round-combiner tests.
+EdgeList crown(VertexId n_per_side);
+
+/// Disjoint union of `count` crown graphs with `size` vertices per side.
+/// Every component carries its own stranding trap (a random maximal matching
+/// of crown(3) is one edge short with probability 1/3), so greedy folds lose
+/// Theta(count) edges while short augmenting paths recover all of them.
+EdgeList crown_forest(VertexId count, VertexId size);
+
 /// Star: center 0 connected to leaves 1..n-1 (the Section 1.2 instance that
 /// defeats the minimum-VC-as-coreset idea).
 EdgeList star(VertexId n);

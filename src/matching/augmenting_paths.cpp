@@ -1,0 +1,215 @@
+#include "matching/augmenting_paths.hpp"
+
+#include <algorithm>
+#include <span>
+#include <unordered_set>
+
+#include "graph/edge.hpp"
+
+namespace rcc {
+
+namespace {
+
+/// Sorted CSR adjacency over the searched edge set (parallel edges collapse
+/// naturally: the DFS only asks "is w reachable from u", so duplicates just
+/// repeat a neighbor and are skipped by the on-path checks).
+struct Adjacency {
+  std::vector<std::size_t> offsets;
+  std::vector<VertexId> neighbors;
+
+  explicit Adjacency(EdgeSpan edges) {
+    const VertexId n = edges.num_vertices();
+    offsets.assign(n + 1, 0);
+    for (const Edge& e : edges) {
+      ++offsets[e.u + 1];
+      ++offsets[e.v + 1];
+    }
+    for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    neighbors.resize(offsets[n]);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      neighbors[cursor[e.u]++] = e.v;
+      neighbors[cursor[e.v]++] = e.u;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    }
+  }
+
+  std::span<const VertexId> of(VertexId v) const {
+    return {neighbors.data() + offsets[v], neighbors.data() + offsets[v + 1]};
+  }
+};
+
+/// Depth-bounded exhaustive DFS over simple alternating paths. `blocked`
+/// doubles as the on-path marker during the recursion and as the permanent
+/// committed-path marker between searches; the recursion unwinds its own
+/// marks, so no global visited state survives a failed branch (that is what
+/// keeps the emptiness test exact in non-bipartite graphs).
+class PathSearch {
+ public:
+  PathSearch(const Adjacency& adj, const Matching& matching,
+             std::size_t max_length, std::vector<char>& blocked)
+      : adj_(adj),
+        matching_(matching),
+        free_budget_((max_length + 1) / 2),
+        blocked_(blocked) {}
+
+  /// Tries to grow an augmenting path out of the free vertex `start`; on
+  /// success the full vertex sequence is in `path` and its vertices stay
+  /// blocked (committed).
+  bool from(VertexId start, std::vector<VertexId>& path) {
+    path.clear();
+    path.push_back(start);
+    blocked_[start] = 1;
+    if (extend(start, free_budget_, path)) return true;
+    blocked_[start] = 0;
+    return false;
+  }
+
+ private:
+  /// `u` is at an even position (start, or just entered via a matching
+  /// edge); `budget` non-matching hops remain.
+  bool extend(VertexId u, std::size_t budget, std::vector<VertexId>& path) {
+    const VertexId mate_u = matching_.is_matched(u) ? matching_.mate(u)
+                                                    : kInvalidVertex;
+    for (VertexId w : adj_.of(u)) {
+      if (w == mate_u || blocked_[w]) continue;  // non-matching simple hop
+      if (!matching_.is_matched(w)) {            // free endpoint: done
+        path.push_back(w);
+        blocked_[w] = 1;
+        return true;
+      }
+      if (budget < 2) continue;  // the forced matched hop needs one more
+      const VertexId x = matching_.mate(w);
+      if (blocked_[x]) continue;
+      path.push_back(w);
+      path.push_back(x);
+      blocked_[w] = 1;
+      blocked_[x] = 1;
+      if (extend(x, budget - 1, path)) return true;
+      blocked_[w] = 0;
+      blocked_[x] = 0;
+      path.pop_back();
+      path.pop_back();
+    }
+    return false;
+  }
+
+  const Adjacency& adj_;
+  const Matching& matching_;
+  std::size_t free_budget_;
+  std::vector<char>& blocked_;
+};
+
+std::vector<AugmentingPath> search(EdgeSpan edges, const Matching& matching,
+                                   std::size_t max_length, bool first_only) {
+  std::vector<AugmentingPath> found;
+  if (edges.empty() || max_length == 0) return found;
+  const VertexId n = edges.num_vertices();
+  RCC_CHECK(matching.num_vertices() == n);
+
+  const Adjacency adj(edges);
+  std::vector<char> blocked(n, 0);
+  PathSearch dfs(adj, matching, max_length, blocked);
+  std::vector<VertexId> path;
+  for (VertexId s = 0; s < n; ++s) {
+    if (matching.is_matched(s) || blocked[s]) continue;
+    if (!dfs.from(s, path)) continue;
+    AugmentingPath p{path};
+    p.canonicalize();
+    found.push_back(std::move(p));
+    if (first_only) break;
+  }
+  return found;
+}
+
+}  // namespace
+
+void AugmentingPath::canonicalize() {
+  if (!vertices.empty() && vertices.front() > vertices.back()) {
+    std::reverse(vertices.begin(), vertices.end());
+  }
+}
+
+bool canonical_less(const AugmentingPath& a, const AugmentingPath& b) {
+  return a.vertices < b.vertices;
+}
+
+std::vector<AugmentingPath> find_augmenting_paths(EdgeSpan edges,
+                                                  const Matching& matching,
+                                                  std::size_t max_length) {
+  return search(edges, matching, max_length, /*first_only=*/false);
+}
+
+bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
+                         std::size_t max_length) {
+  return !search(edges, matching, max_length, /*first_only=*/true).empty();
+}
+
+bool is_valid_augmenting_path(const AugmentingPath& path,
+                              const Matching& matching) {
+  const std::size_t len = path.vertices.size();
+  if (len < 2 || len % 2 != 0) return false;  // odd edge count = even vertices
+  const VertexId n = matching.num_vertices();
+  std::unordered_set<VertexId> seen;
+  for (VertexId v : path.vertices) {
+    if (v >= n || !seen.insert(v).second) return false;  // out of range / repeat
+  }
+  if (matching.is_matched(path.vertices.front()) ||
+      matching.is_matched(path.vertices.back())) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    const VertexId a = path.vertices[i];
+    const VertexId b = path.vertices[i + 1];
+    if (i % 2 == 0) {  // must be a non-matching edge
+      if (matching.is_matched(a) && matching.mate(a) == b) return false;
+    } else {  // must be THE matching edge
+      if (!matching.is_matched(a) || matching.mate(a) != b) return false;
+    }
+  }
+  return true;
+}
+
+bool is_valid_augmenting_path(const AugmentingPath& path,
+                              const Matching& matching, EdgeSpan edges) {
+  if (!is_valid_augmenting_path(path, matching)) return false;
+  std::unordered_set<Edge, EdgeHash> present;
+  present.reserve(edges.num_edges());
+  for (const Edge& e : edges) present.insert(e);
+  for (std::size_t i = 0; i + 1 < path.vertices.size(); i += 2) {
+    if (!present.count(make_edge(path.vertices[i], path.vertices[i + 1]))) {
+      return false;  // a non-matching hop must exist in the searched edges
+    }
+  }
+  return true;
+}
+
+void apply_augmenting_path(Matching& matching, const AugmentingPath& path) {
+  RCC_DCHECK(is_valid_augmenting_path(path, matching));
+  // Unhook the matched interior first, then flip the non-matching hops in.
+  for (std::size_t i = 1; i + 1 < path.vertices.size(); i += 2) {
+    matching.unmatch(path.vertices[i]);
+  }
+  for (std::size_t i = 0; i + 1 < path.vertices.size(); i += 2) {
+    matching.match(path.vertices[i], path.vertices[i + 1]);
+  }
+}
+
+std::size_t augment_matching(Matching& matching, EdgeSpan edges,
+                             std::size_t max_length) {
+  std::size_t augmentations = 0;
+  for (;;) {
+    const std::vector<AugmentingPath> batch =
+        find_augmenting_paths(edges, matching, max_length);
+    if (batch.empty()) return augmentations;
+    for (const AugmentingPath& p : batch) {
+      apply_augmenting_path(matching, p);
+      ++augmentations;
+    }
+  }
+}
+
+}  // namespace rcc

@@ -1,0 +1,100 @@
+// Bounded-length augmenting-path search: the layered primitive behind the
+// (1+eps) multi-round matching combiner.
+//
+// An augmenting path for a matching M is a simple path v0, v1, ..., vL whose
+// edges alternate non-matching / matching and whose endpoints v0, vL are both
+// free; flipping it (the symmetric difference) grows M by exactly one edge.
+// The classical short-augmenting-path bound makes bounded search useful: if M
+// admits NO augmenting path of length <= 2k+1, then
+//
+//   |M| >= (k+1)/(k+2) * |M*|,   i.e.   |M*| / |M| <= 1 + 1/(k+1),
+//
+// in any graph (decompose M xor M* into alternating paths/cycles; every
+// M*-augmenting component is an augmenting path for M with at least k+1
+// M-edges). The MPC combiner (mpc/augmenting_rounds.hpp) terminates on
+// exactly this certificate, so the search here must be EXACT with respect to
+// the length bound: find_augmenting_paths returns empty iff no augmenting
+// path of length <= max_length exists. That rules out the visited-marking
+// prunings of Hopcroft-Karp-style layered search (correct only for bipartite
+// graphs); instead the search exhaustively enumerates simple alternating
+// paths by depth-bounded DFS with backtracking — exponential in the length
+// bound in the worst case, but the bound is a small knob (2k+1 for k = O(1/eps))
+// and the matched continuation out of every odd vertex is forced, so the
+// branching factor applies to only (L+1)/2 of the L hops.
+//
+// Everything here is deterministic: start vertices ascend, adjacency is
+// sorted, discovered paths are canonically oriented (first id < last id).
+// greedy.cpp's greedy_extend is the degenerate caller (length-1 paths), and
+// augment_matching with an unbounded length cap is an exact maximum-matching
+// route that the unit tests cross-check against Hopcroft-Karp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "matching/matching.hpp"
+#include "util/types.hpp"
+
+namespace rcc {
+
+/// One augmenting path, stored as its vertex sequence v0..vL (L odd edges,
+/// alternation starting and ending with a non-matching edge). Only the
+/// non-matching edges need to exist in the searched edge set — the matching
+/// edges are carried by M itself, which is what lets a machine discover a
+/// path inside its shard against a broadcast matching.
+struct AugmentingPath {
+  std::vector<VertexId> vertices;
+
+  std::size_t length() const { return vertices.size() - 1; }  // edges
+  /// Message cost in words: one vertex id per path vertex.
+  std::uint64_t words() const { return vertices.size(); }
+
+  /// Canonical orientation (first id < last id); alternation is symmetric,
+  /// so both orientations describe the same flip.
+  void canonicalize();
+
+  friend bool operator==(const AugmentingPath&, const AugmentingPath&) = default;
+};
+
+/// Canonical path order: lexicographic on the (canonicalized) vertex
+/// sequences. The combiner's first-wins conflict resolution sorts by this,
+/// which makes the fold independent of machine count and thread schedule.
+bool canonical_less(const AugmentingPath& a, const AugmentingPath& b);
+
+/// A set of vertex-disjoint augmenting paths of odd length <= max_length for
+/// `matching`, discovered greedily (ascending start vertex, lexicographic
+/// DFS) over the non-matching edges in `edges`. Exact as an emptiness test:
+/// returns empty iff NO such path exists. The paths are canonicalized and
+/// mutually vertex-disjoint, so they can all be applied in any order.
+std::vector<AugmentingPath> find_augmenting_paths(EdgeSpan edges,
+                                                  const Matching& matching,
+                                                  std::size_t max_length);
+
+/// True iff some augmenting path of length <= max_length exists (same search,
+/// stopping at the first hit).
+bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
+                         std::size_t max_length);
+
+/// Structural validity: odd length, simple, endpoints free, interior edges
+/// alternate against `matching`. Does NOT check edge membership — pass
+/// `edges` to also require every non-matching hop to exist there (tests use
+/// this; the combiner trusts its machines and only re-checks disjointness).
+bool is_valid_augmenting_path(const AugmentingPath& path,
+                              const Matching& matching);
+bool is_valid_augmenting_path(const AugmentingPath& path,
+                              const Matching& matching, EdgeSpan edges);
+
+/// Flips the path's symmetric difference into `matching` (|M| grows by one).
+/// Precondition: is_valid_augmenting_path(path, matching).
+void apply_augmenting_path(Matching& matching, const AugmentingPath& path);
+
+/// Repeatedly finds and applies disjoint path batches of length <= max_length
+/// until none remain; returns the number of augmentations. With max_length >=
+/// num_vertices this drives `matching` to a maximum matching of `edges`
+/// (exhaustive search; intended for tests and small instances — the
+/// polynomial solvers in hopcroft_karp/blossom are the production route).
+std::size_t augment_matching(Matching& matching, EdgeSpan edges,
+                             std::size_t max_length);
+
+}  // namespace rcc

@@ -34,6 +34,10 @@ Matching greedy_maximal_matching_by(
 }
 
 void greedy_extend(Matching& base, const EdgeList& extra) {
+  // A free-free edge is exactly a length-1 augmenting path — the degenerate
+  // case of matching/augmenting_paths.hpp — but this runs inside every
+  // fold's hot loop, so the flip stays a direct match() rather than an
+  // AugmentingPath allocation per edge.
   for (const Edge& e : extra) {
     if (!base.is_matched(e.u) && !base.is_matched(e.v)) base.match(e.u, e.v);
   }

@@ -1,0 +1,153 @@
+#include "mpc/augmenting_rounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "matching/augmenting_paths.hpp"
+#include "util/options.hpp"
+
+namespace rcc {
+
+namespace {
+
+std::uint64_t path_words(const std::vector<AugmentingPath>& paths) {
+  std::uint64_t words = 0;
+  for (const AugmentingPath& p : paths) words += p.words();
+  return words;
+}
+
+}  // namespace
+
+AugmentingRoundsConfig AugmentingRoundsConfig::for_epsilon(double epsilon) {
+  RCC_CHECK(epsilon > 0.0);
+  // Smallest k with 1/(k+1) <= epsilon; nudge before ceil so that exact
+  // reciprocals (0.5, 0.25, ...) do not round up a slot on fp noise. Clamp
+  // before the cast: a vanishing epsilon would otherwise overflow size_t
+  // (UB), and no graph needs a path cap anywhere near the clamp.
+  constexpr double kMaxSlots = 1e9;
+  const double slots =
+      std::min(std::ceil(1.0 / epsilon - 1e-9), kMaxSlots);
+  const std::size_t k_plus_1 =
+      std::max<std::size_t>(1, static_cast<std::size_t>(slots));
+  AugmentingRoundsConfig config;
+  config.max_path_length = 2 * (k_plus_1 - 1) + 1;
+  return config;
+}
+
+AugmentingMpcResult run_matching_rounds_augmenting(
+    const EdgeList& graph, const MpcEngineConfig& config,
+    const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
+    ThreadPool* pool) {
+  RCC_CHECK(aug.max_path_length % 2 == 1);
+
+  Matching matched(graph.num_vertices());
+  bool certified = false;
+
+  // The executor's no-progress check compares surviving edge counts, which
+  // this combiner keeps flat on purpose (matched edges are future matched
+  // hops); termination is the certificate below.
+  MpcEngineConfig exec = config;
+  exec.early_stop = false;
+  exec.round_label = "augmenting-round";
+
+  const auto build = [&](EdgeSpan piece, const PartitionContext&, Rng&) {
+    // M is stable for the whole machine phase (the fold owns all writes), so
+    // concurrent shard searches against it are safe.
+    return find_augmenting_paths(piece, matched, aug.max_path_length);
+  };
+  const auto account = [](const std::vector<AugmentingPath>& paths) {
+    return MessageSize{0, path_words(paths)};
+  };
+  const auto fold = [&](std::vector<std::vector<AugmentingPath>>& summaries,
+                        MpcRoundContext& ctx, Rng&) {
+    // The matching every machine searched against was broadcast at the top
+    // of this super-step: charge each machine for holding it.
+    ctx.charge_all(2 * static_cast<std::uint64_t>(matched.size()));
+
+    // First-wins in canonical order: paths from different (disjoint) shards
+    // can still collide on vertices, and the flat lexicographic order makes
+    // the outcome independent of machine count and thread schedule. A
+    // surviving path is vertex-disjoint from every previously applied one,
+    // so it is still augmenting for the updated M.
+    std::vector<const AugmentingPath*> candidates;
+    for (const std::vector<AugmentingPath>& machine_paths : summaries) {
+      for (const AugmentingPath& p : machine_paths) candidates.push_back(&p);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const AugmentingPath* a, const AugmentingPath* b) {
+                return canonical_less(*a, *b);
+              });
+    std::vector<char> touched(graph.num_vertices(), 0);
+    std::size_t applied = 0;
+    for (const AugmentingPath* p : candidates) {
+      bool conflict = false;
+      for (VertexId v : p->vertices) conflict = conflict || touched[v];
+      if (conflict) continue;
+      for (VertexId v : p->vertices) touched[v] = 1;
+      apply_augmenting_path(matched, *p);
+      ++applied;
+    }
+
+    if (applied == 0) {
+      // No shard held a whole path. The coordinator sweeps the round's full
+      // edge set once: an empty sweep proves no augmenting path of length
+      // <= 2k+1 exists anywhere — the (1 + 1/(k+1)) certificate — and a
+      // non-empty one keeps the run progressing (its paths are already
+      // mutually disjoint and are charged like any other path message).
+      // The sweep centralizes the round's residual on machine M, so its
+      // residency is charged first (2 words per edge) — a budget below the
+      // residual size honestly aborts here instead of certifying for free.
+      ctx.charge(0, 2 * static_cast<std::uint64_t>(
+                        ctx.active_edges().num_edges()));
+      const std::vector<AugmentingPath> sweep =
+          find_augmenting_paths(ctx.active_edges(), matched,
+                                aug.max_path_length);
+      if (sweep.empty()) {
+        certified = true;
+        ctx.certify_ratio(aug.certified_ratio());
+        ctx.request_stop();
+      } else {
+        ctx.charge(0, path_words(sweep));
+        for (const AugmentingPath& p : sweep) {
+          apply_augmenting_path(matched, p);
+          ++applied;
+        }
+      }
+    }
+    ctx.note_progress(applied);
+    return ctx.active_edges().to_edge_list();
+  };
+
+  AugmentingMpcResult result;
+  result.stats =
+      run_mpc_rounds(graph, exec, left_size, rng, pool, build, account, fold);
+  result.matching = std::move(matched);
+  result.rounds = result.stats.mpc_rounds;
+  result.max_memory_words = result.stats.max_memory_words;
+  result.certified = certified;
+  result.certified_ratio = certified ? aug.certified_ratio() : 0.0;
+  result.total_augmentations = result.stats.total_augmentations;
+  return result;
+}
+
+AugmentingRoundsConfig augmenting_config_from_options(const Options& options) {
+  const double epsilon = options.get_double("mpc-epsilon");
+  if (epsilon > 0.0) return AugmentingRoundsConfig::for_epsilon(epsilon);
+  const std::int64_t length = options.get_int("mpc-max-path-length");
+  if (length < 1 || length % 2 == 0) {
+    std::fprintf(stderr,
+                 "flag --mpc-max-path-length: %lld must be an odd length "
+                 ">= 1 (2k+1)\n",
+                 static_cast<long long>(length));
+    std::exit(2);
+  }
+  AugmentingRoundsConfig config;
+  config.max_path_length = static_cast<std::size_t>(length);
+  return config;
+}
+
+}  // namespace rcc

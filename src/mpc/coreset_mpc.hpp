@@ -14,7 +14,9 @@
 // solution leaves open and composes coresets of the residual, which can only
 // grow the matching (the round-iteration structure of "Coresets Meet EDCS",
 // arXiv:1711.03076). The legacy single-round signatures are thin wrappers
-// with max_rounds = 1.
+// with max_rounds = 1. The greedy fold here never passes maximality; the
+// (1+eps) sibling entry point, run_matching_rounds_augmenting, lives in
+// mpc/augmenting_rounds.hpp.
 #pragma once
 
 #include "matching/matching.hpp"

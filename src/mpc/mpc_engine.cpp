@@ -37,7 +37,13 @@ void add_mpc_engine_flags(Options& options) {
             "input is already randomly partitioned (skips the re-partition "
             "round)")
       .flag("mpc-early-stop", "true",
-            "stop as soon as a round makes no progress");
+            "stop as soon as a round makes no progress")
+      .flag("mpc-max-path-length", "3",
+            "augmenting combiner: odd augmenting-path length cap 2k+1 "
+            "(certifies a 1 + 1/(k+1) approximation at the early stop)")
+      .flag("mpc-epsilon", "0",
+            "augmenting combiner: target (1+eps) approximation; overrides "
+            "--mpc-max-path-length when > 0");
 }
 
 MpcEngineConfig mpc_engine_config_from_options(const Options& options,

@@ -118,12 +118,28 @@ class MpcRoundContext {
   void request_stop() { stop_requested_ = true; }
   bool stop_requested() const { return stop_requested_; }
 
+  /// Progress accounting for folds whose survivors do not shrink (the
+  /// augmenting-path combiner re-circulates every edge): the units land in
+  /// this round's MpcRoundReport::augmentations, so per-round progress stays
+  /// visible even though the surviving edge counts are flat.
+  void note_progress(std::size_t units) { progress_units_ += units; }
+  std::size_t progress_units() const { return progress_units_; }
+
+  /// A fold that stops on a quality certificate (e.g. "no augmenting path of
+  /// length <= 2k+1 anywhere" => a (1 + 1/(k+1))-approximation) records the
+  /// certified worst-case ratio here; the executor copies it into
+  /// MpcExecutionStats::certified_ratio.
+  void certify_ratio(double ratio_bound) { certified_ratio_ = ratio_bound; }
+  double certified_ratio() const { return certified_ratio_; }
+
  private:
   MpcLedger& ledger_;
   EdgeSpan active_;
   std::size_t round_index_;
   std::size_t max_rounds_;
   bool stop_requested_ = false;
+  std::size_t progress_units_ = 0;
+  double certified_ratio_ = 0.0;
 };
 
 /// One executor iteration (one ProtocolEngine round; may span several ledger
@@ -138,6 +154,10 @@ struct MpcRoundReport {
   std::size_t surviving_edges = 0;  // edges carried into the next one
   std::uint64_t comm_words = 0;     // summary words collected by machine M
   std::uint64_t peak_machine_words = 0;  // peak residency across its steps
+  /// Combiner-reported progress units (MpcRoundContext::note_progress); the
+  /// augmenting combiner reports augmenting paths applied this round. Zero
+  /// for folds that do not report.
+  std::size_t augmentations = 0;
   ProtocolTiming timing;
 };
 
@@ -147,6 +167,13 @@ struct MpcExecutionStats {
   std::size_t engine_rounds = 0;  // executor iterations actually run
   std::uint64_t max_memory_words = 0;
   std::uint64_t total_comm_words = 0;
+  /// Sum of the per-round combiner progress units (augmenting combiner:
+  /// total augmenting paths applied across the run).
+  std::size_t total_augmentations = 0;
+  /// Worst-case approximation ratio the final round certified via
+  /// MpcRoundContext::certify_ratio (augmenting combiner: 1 + 1/(k+1) when
+  /// the no-augmenting-path early stop fired). 0.0 when no round certified.
+  double certified_ratio = 0.0;
   ProtocolTiming total_timing;
   std::vector<MpcRoundReport> per_round;
   std::vector<std::string> round_labels;        // one per ledger super-step
@@ -232,6 +259,11 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
     for (std::size_t s = first_step; s < ledger.rounds(); ++s) {
       report.peak_machine_words =
           std::max(report.peak_machine_words, ledger.round_peak_words()[s]);
+    }
+    report.augmentations = round_ctx.progress_units();
+    stats.total_augmentations += round_ctx.progress_units();
+    if (round_ctx.certified_ratio() > 0.0) {
+      stats.certified_ratio = round_ctx.certified_ratio();
     }
     report.timing = result.timing;
     stats.per_round.push_back(report);

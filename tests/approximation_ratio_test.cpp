@@ -1,0 +1,235 @@
+// Exact-oracle approximation harness (label: property).
+//
+// Every matching entry point runs on a generator x seed grid and its
+// realized size is compared against the exact optimum — Hopcroft-Karp on
+// bipartition-tagged instances, Edmonds' blossom on general ones:
+//
+//   * the single-round coreset protocol stays within a pinned constant
+//     factor (the Theorem 1 O(1) regime; factor 3 holds with slack on this
+//     deterministic grid),
+//   * the greedy multi-round combiner runs to its fixed point, which is a
+//     maximal matching: certified factor 2, never past maximality,
+//   * the augmenting combiner with path cap L = 2k+1 terminates via the
+//     no-augmenting-path early stop and never exceeds the certified
+//     1 + 1/(k+1) = (L+3)/(L+1) ratio (checked in exact integer arithmetic),
+//   * on the p4-forest and crown-forest families the augmenting combiner is
+//     STRICTLY better than a greedy fold: the natural-greedy baseline
+//     (maximal-matching coresets folded greedily — the Section 1.2 coreset
+//     the paper rejects) is stuck Theta(components) below the optimum the
+//     augmenting combiner reaches exactly. (The PR-2 maximum-coreset
+//     combiner composes exact per-shard maximum matchings, which this grid
+//     cannot trap past maximality-with-loss — asserted too: the augmenting
+//     result is never behind it.)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coreset/matching_coresets.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "mpc/augmenting_rounds.hpp"
+#include "mpc/coreset_mpc.hpp"
+
+namespace rcc {
+namespace {
+
+struct Instance {
+  std::string name;
+  EdgeList edges;
+  VertexId left_size;  // nonzero = known bipartition boundary
+};
+
+/// Disjoint P4s presented middle-edge-first: a piece-local solver that
+/// breaks ties by scan order commits to middle edges, the trap that strands
+/// both outer endpoints of a path.
+EdgeList p4_forest_middle_first(VertexId paths) {
+  EdgeList edges(4 * paths);
+  for (VertexId i = 0; i < paths; ++i) {
+    edges.add(4 * i + 1, 4 * i + 2);
+    edges.add(4 * i, 4 * i + 1);
+    edges.add(4 * i + 2, 4 * i + 3);
+  }
+  return edges;
+}
+
+std::vector<Instance> instance_grid(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> instances;
+  instances.push_back({"empty", EdgeList(40), 0});
+  instances.push_back({"gnp-sparse", gnp(300, 4.0 / 300, rng), 0});
+  instances.push_back({"gnp-dense", gnp(120, 0.2, rng), 0});
+  instances.push_back({"bipartite", random_bipartite(80, 100, 0.08, rng), 80});
+  instances.push_back(
+      {"left-regular", left_regular_bipartite(60, 60, 3, rng), 60});
+  instances.push_back({"star-forest", star_forest(12, 15), 0});
+  instances.push_back({"path", path(150), 0});
+  instances.push_back({"cycle", cycle(101), 0});
+  instances.push_back(
+      {"perfect-matching", random_perfect_matching(50, rng), 50});
+  const HubGadget hub = hub_gadget(64, 8);
+  instances.push_back({"hub-gadget", hub.edges, hub.left_size});
+  instances.push_back({"p4-forest", p4_forest_middle_first(60), 0});
+  instances.push_back({"crown", crown(10), 10});
+  instances.push_back({"crown-forest", crown_forest(20, 3), 0});
+  return instances;
+}
+
+constexpr std::uint64_t kSeeds[] = {101, 202, 303};
+
+/// The exact oracle of the harness: HK when a bipartition is known, blossom
+/// otherwise (never the dispatcher, so the oracle choice is explicit).
+std::size_t exact_optimum(const Instance& inst) {
+  if (inst.left_size > 0) {
+    return hopcroft_karp(bipartite_graph(inst.edges, inst.left_size)).size();
+  }
+  return blossom_maximum_matching(general_graph(inst.edges)).size();
+}
+
+MpcEngineConfig engine_config(const EdgeList& graph, std::size_t max_rounds) {
+  MpcEngineConfig config;
+  config.mpc = MpcConfig::paper_default(graph.num_vertices());
+  config.max_rounds = max_rounds;
+  return config;
+}
+
+/// The natural-greedy baseline: maximal-matching coresets (input-order
+/// scan) folded greedily on the same executor — "folding machine matchings
+/// greedily", with nothing to ever undo a committed edge.
+Matching natural_greedy_rounds(const EdgeList& graph, std::size_t max_rounds,
+                               Rng& rng) {
+  const MaximalMatchingCoreset coreset(GreedyOrder::kGiven);
+  Matching matched(graph.num_vertices());
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    return coreset.build(piece, ctx, machine_rng);
+  };
+  const auto account = [](const EdgeList& summary) {
+    return MessageSize{summary.num_edges(), 0};
+  };
+  const auto fold = [&](std::vector<EdgeList>& summaries, MpcRoundContext& ctx,
+                        Rng&) {
+    for (const EdgeList& s : summaries) greedy_extend(matched, s);
+    return ctx.active_edges().filter([&](const Edge& e) {
+      return !matched.is_matched(e.u) && !matched.is_matched(e.v);
+    });
+  };
+  run_mpc_rounds(graph, engine_config(graph, max_rounds), 0, rng, nullptr,
+                 build, account, fold);
+  return matched;
+}
+
+void expect_valid(const Matching& m, const Instance& inst, std::size_t opt,
+                  const std::string& what) {
+  EXPECT_TRUE(m.valid()) << what << " on " << inst.name;
+  EXPECT_TRUE(m.subset_of(inst.edges)) << what << " on " << inst.name;
+  EXPECT_LE(m.size(), opt) << what << " on " << inst.name;
+}
+
+TEST(ApproximationRatio, SingleRoundProtocolStaysWithinPinnedConstant) {
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      const std::size_t opt = exact_optimum(inst);
+      Rng rng(seed);
+      const CoresetMpcMatchingResult single = coreset_mpc_matching_rounds(
+          inst.edges, engine_config(inst.edges, 1), inst.left_size, rng);
+      expect_valid(single.matching, inst, opt, "single-round");
+      // Theorem 1's O(1): factor 3 holds with slack on this pinned grid.
+      EXPECT_GE(3 * single.matching.size(), opt) << inst.name
+                                                 << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ApproximationRatio, GreedyMultiRoundReachesItsMaximalityCertificate) {
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      const std::size_t opt = exact_optimum(inst);
+      Rng rng(seed);
+      const CoresetMpcMatchingResult greedy = coreset_mpc_matching_rounds(
+          inst.edges, engine_config(inst.edges, 64), inst.left_size, rng);
+      expect_valid(greedy.matching, inst, opt, "greedy-rounds");
+      // The greedy fold's fixed point is a maximal matching of G: its
+      // certificate is the factor-2 bound, and 64 rounds are enough for the
+      // grid to reach it (the run early-stops well before the cap).
+      EXPECT_TRUE(greedy.matching.maximal_in(inst.edges)) << inst.name;
+      EXPECT_GE(2 * greedy.matching.size(), opt) << inst.name;
+      EXPECT_LT(greedy.stats.engine_rounds, 64u) << inst.name;
+    }
+  }
+}
+
+TEST(ApproximationRatio, AugmentingRoundsNeverExceedTheCertifiedRatio) {
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      const std::size_t opt = exact_optimum(inst);
+      for (std::size_t max_path_length : {1u, 3u, 5u}) {
+        AugmentingRoundsConfig aug;
+        aug.max_path_length = max_path_length;
+        Rng rng(seed);
+        const AugmentingMpcResult r = run_matching_rounds_augmenting(
+            inst.edges, engine_config(inst.edges, 64), aug, inst.left_size,
+            rng);
+        expect_valid(r.matching, inst, opt, "augmenting-rounds");
+        // Termination must be the no-augmenting-path early stop, and the
+        // certificate must hold against the exact oracle: with L = 2k+1,
+        // opt/|M| <= 1 + 1/(k+1) = (L+3)/(L+1), in integer arithmetic.
+        EXPECT_TRUE(r.certified) << inst.name << " L=" << max_path_length;
+        EXPECT_LT(r.stats.engine_rounds, 64u) << inst.name;
+        EXPECT_GE(r.matching.size() * (max_path_length + 3),
+                  opt * (max_path_length + 1))
+            << inst.name << " seed=" << seed << " L=" << max_path_length;
+        EXPECT_DOUBLE_EQ(r.certified_ratio,
+                         1.0 + 2.0 / static_cast<double>(max_path_length + 1));
+        EXPECT_EQ(r.stats.certified_ratio, r.certified_ratio);
+      }
+    }
+  }
+}
+
+TEST(ApproximationRatio, AugmentingStrictlyBeatsGreedyOnTrapFamilies) {
+  // The separator satellite: on families whose components carry a stranding
+  // trap — P4s presented middle-first, crown(3) components with the missing
+  // diagonal — the greedy fold commits and can never recover, while length-3
+  // augmenting paths fix every stuck component.
+  struct Family {
+    const char* name;
+    EdgeList edges;
+  };
+  std::vector<Family> families;
+  families.push_back({"p4-forest", p4_forest_middle_first(100)});
+  families.push_back({"crown-forest", crown_forest(40, 3)});
+  for (const Family& family : families) {
+    const Instance inst{family.name, family.edges, 0};
+    const std::size_t opt = exact_optimum(inst);
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      Rng greedy_rng(seed);
+      const Matching greedy =
+          natural_greedy_rounds(family.edges, 64, greedy_rng);
+      AugmentingRoundsConfig aug;
+      aug.max_path_length = 3;
+      Rng aug_rng(seed);
+      const AugmentingMpcResult r = run_matching_rounds_augmenting(
+          family.edges, engine_config(family.edges, 64), aug, 0, aug_rng);
+      // Strictly better than the greedy fold, and in fact exactly optimal:
+      // every trap on these families is a length-3 augmentation away.
+      EXPECT_GT(r.matching.size(), greedy.size())
+          << family.name << " seed=" << seed;
+      EXPECT_EQ(r.matching.size(), opt) << family.name << " seed=" << seed;
+      EXPECT_TRUE(r.certified);
+      // And never behind the PR-2 maximum-coreset combiner either.
+      Rng coreset_rng(seed);
+      const CoresetMpcMatchingResult coreset_greedy =
+          coreset_mpc_matching_rounds(family.edges,
+                                      engine_config(family.edges, 64), 0,
+                                      coreset_rng);
+      EXPECT_GE(r.matching.size(), coreset_greedy.matching.size())
+          << family.name << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcc

@@ -1,0 +1,203 @@
+// Unit tests for the bounded-length augmenting-path module
+// (matching/augmenting_paths.hpp): structural validity of discovered paths,
+// the length bound, exactness of the emptiness test (cross-checked against
+// the Hopcroft-Karp and blossom oracles), determinism under thread-pool vs
+// sequential execution, and the no-augmenting-path fixed point on a perfect
+// matching.
+#include "matching/augmenting_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/max_matching.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rcc {
+namespace {
+
+/// Start matchings the searches are probed against: empty, greedy in input
+/// order, greedy in a seeded random order.
+std::vector<Matching> start_matchings(const EdgeList& edges,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matching> starts;
+  starts.emplace_back(edges.num_vertices());
+  starts.push_back(greedy_maximal_matching(edges, GreedyOrder::kGiven, rng));
+  starts.push_back(greedy_maximal_matching(edges, GreedyOrder::kRandom, rng));
+  return starts;
+}
+
+std::vector<EdgeList> instance_pool(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeList> instances;
+  instances.push_back(gnp(120, 0.03, rng));
+  instances.push_back(random_bipartite(40, 50, 0.08, rng));
+  instances.push_back(crown(9));
+  instances.push_back(crown_forest(8, 3));
+  instances.push_back(path(60));
+  instances.push_back(cycle(31));
+  instances.push_back(star_forest(6, 8));
+  return instances;
+}
+
+TEST(AugmentingPathSearch, PathsAreValidDisjointAndLengthBounded) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const EdgeList& edges : instance_pool(seed)) {
+      for (const Matching& start : start_matchings(edges, seed)) {
+        for (std::size_t max_length : {1u, 3u, 5u, 9u}) {
+          const std::vector<AugmentingPath> paths =
+              find_augmenting_paths(edges, start, max_length);
+          std::vector<char> used(edges.num_vertices(), 0);
+          for (const AugmentingPath& p : paths) {
+            EXPECT_TRUE(is_valid_augmenting_path(p, start, edges));
+            EXPECT_LE(p.length(), max_length);
+            EXPECT_EQ(p.length() % 2, 1u);
+            EXPECT_LT(p.vertices.front(), p.vertices.back());  // canonical
+            for (VertexId v : p.vertices) {
+              EXPECT_FALSE(used[v]) << "paths share vertex " << v;
+              used[v] = 1;
+            }
+          }
+          // Disjoint paths can be applied in any order; do it and check the
+          // matching grew by exactly one edge per path.
+          Matching m = start;
+          for (const AugmentingPath& p : paths) apply_augmenting_path(m, p);
+          EXPECT_TRUE(m.valid());
+          EXPECT_EQ(m.size(), start.size() + paths.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(AugmentingPathSearch, LengthBoundIsSharp) {
+  // Path graph 0-1-...-7 with matching {(1,2),(3,4),(5,6)}: the ONLY
+  // augmenting path is the full length-7 alternation.
+  const EdgeList edges = path(8);
+  Matching m(8);
+  m.match(1, 2);
+  m.match(3, 4);
+  m.match(5, 6);
+  EXPECT_FALSE(has_augmenting_path(edges, m, 1));
+  EXPECT_FALSE(has_augmenting_path(edges, m, 3));
+  EXPECT_FALSE(has_augmenting_path(edges, m, 5));
+  ASSERT_TRUE(has_augmenting_path(edges, m, 7));
+  const std::vector<AugmentingPath> paths = find_augmenting_paths(edges, m, 7);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].vertices,
+            (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  apply_augmenting_path(m, paths[0]);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(AugmentingPathSearch, PerfectMatchingIsAFixedPoint) {
+  Rng rng(11);
+  const EdgeList pm = random_perfect_matching(30, rng);
+  const EdgeList edges = complete_bipartite(30, 30);
+  Matching perfect = Matching::from_edges(pm);
+  for (std::size_t max_length : {1u, 3u, 31u}) {
+    EXPECT_TRUE(find_augmenting_paths(edges, perfect, max_length).empty());
+    EXPECT_FALSE(has_augmenting_path(edges, perfect, max_length));
+  }
+  EXPECT_EQ(augment_matching(perfect, edges, 31), 0u);
+}
+
+TEST(AugmentingPathSearch, CrownStrandingIsFixedByOneLengthThreePath) {
+  // crown(3) with the symmetric-stranded maximal matching {(a0,b1),(a1,b0)}:
+  // a2 and b2 are free but (a2,b2) is the missing diagonal, so greedy
+  // extension is stuck while one length-3 path reaches the optimum.
+  const EdgeList edges = crown(3);
+  Matching m(6);
+  m.match(0, 3 + 1);
+  m.match(1, 3 + 0);
+  EXPECT_FALSE(has_augmenting_path(edges, m, 1));
+  ASSERT_TRUE(has_augmenting_path(edges, m, 3));
+  const std::vector<AugmentingPath> paths = find_augmenting_paths(edges, m, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  apply_augmenting_path(m, paths[0]);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(AugmentingPathSearch, UnboundedSearchMatchesTheExactOracles) {
+  // augment_matching with a generous cap must land on nu(G): Hopcroft-Karp
+  // is the oracle on bipartite instances, blossom on general ones (odd
+  // cycles probe the non-bipartite exactness of the exhaustive search).
+  for (std::uint64_t seed : {5u, 6u}) {
+    Rng rng(seed);
+    struct Case {
+      EdgeList edges;
+      VertexId left_size;
+    };
+    std::vector<Case> cases;
+    cases.push_back({random_bipartite(30, 30, 0.1, rng), 30});
+    cases.push_back({left_regular_bipartite(24, 24, 3, rng), 24});
+    cases.push_back({gnp(48, 0.07, rng), 0});
+    cases.push_back({cycle(9), 0});
+    cases.push_back({crown_forest(5, 3), 0});
+    for (const Case& c : cases) {
+      const std::size_t opt =
+          c.left_size > 0
+              ? hopcroft_karp(bipartite_graph(c.edges, c.left_size)).size()
+              : blossom_maximum_matching(general_graph(c.edges)).size();
+      for (Matching m : start_matchings(c.edges, seed)) {
+        augment_matching(m, c.edges, c.edges.num_vertices());
+        EXPECT_EQ(m.size(), opt);
+        EXPECT_TRUE(m.valid());
+        EXPECT_FALSE(
+            has_augmenting_path(c.edges, m, c.edges.num_vertices()));
+      }
+    }
+  }
+}
+
+TEST(AugmentingPathSearch, DeterministicUnderThreadPoolVsSequential) {
+  // The module is RNG-free; running the same searches from pool workers must
+  // reproduce the sequential results bit for bit (this is what makes the
+  // MPC machine phase schedule-independent).
+  const std::vector<EdgeList> instances = instance_pool(21);
+  std::vector<std::vector<AugmentingPath>> sequential(instances.size());
+  std::vector<Matching> starts;
+  starts.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    Rng rng(21 + i);
+    starts.push_back(
+        greedy_maximal_matching(instances[i], GreedyOrder::kRandom, rng));
+    // Unhook one edge so the bounded searches have work to do.
+    for (VertexId v = 0; v < instances[i].num_vertices(); ++v) {
+      if (starts[i].is_matched(v)) {
+        starts[i].unmatch(v);
+        break;
+      }
+    }
+    sequential[i] = find_augmenting_paths(instances[i], starts[i], 5);
+  }
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<std::vector<AugmentingPath>> parallel(instances.size());
+    parallel_for(pool, instances.size(), [&](std::size_t i) {
+      parallel[i] = find_augmenting_paths(instances[i], starts[i], 5);
+    });
+    EXPECT_EQ(parallel, sequential);
+  }
+}
+
+TEST(AugmentingPathSearch, CanonicalOrderIsATotalOrderOnDiscoveredPaths) {
+  Rng rng(31);
+  const EdgeList edges = gnp(80, 0.05, rng);
+  const Matching m = greedy_maximal_matching(edges, GreedyOrder::kGiven, rng);
+  std::vector<AugmentingPath> paths = find_augmenting_paths(edges, m, 5);
+  std::sort(paths.begin(), paths.end(), canonical_less);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_TRUE(canonical_less(paths[i - 1], paths[i]));  // strict: no dups
+  }
+}
+
+}  // namespace
+}  // namespace rcc
