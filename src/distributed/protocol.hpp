@@ -59,4 +59,22 @@ VcProtocolResult run_vc_protocol_on_partition(
     const std::vector<EdgeList>& pieces, const VertexCoverCoreset& coreset,
     VertexId num_vertices, Rng& rng, ThreadPool* pool = nullptr);
 
+/// Streaming variants of the two protocols above: the coordinator absorbs
+/// each machine's summary as it lands (union building, fixed-vertex
+/// accumulation) instead of waiting for the slowest machine, and only the
+/// final solve runs after the last summary. In StreamingOrder::kCanonical
+/// the result is seed-for-seed identical to the barrier entry points; in
+/// kArrival the absorb order follows completion, so only the protocol's
+/// invariants (validity / feasibility) are guaranteed, not the exact
+/// solution.
+MatchingProtocolResult run_matching_protocol_streaming(
+    const EdgeList& graph, std::size_t k, const MatchingCoreset& coreset,
+    ComposeSolver solver, VertexId left_size, Rng& rng,
+    ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
+
+VcProtocolResult run_vc_protocol_streaming(
+    const EdgeList& graph, std::size_t k, const VertexCoverCoreset& coreset,
+    Rng& rng, ThreadPool* pool = nullptr,
+    const StreamingOptions& streaming = {});
+
 }  // namespace rcc

@@ -1,0 +1,56 @@
+#include "distributed/protocol_engine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/options.hpp"
+
+namespace rcc {
+
+void add_streaming_flags(Options& options) {
+  // Idempotent: add_mpc_engine_flags registers this bundle too, and a
+  // driver may legitimately call both.
+  if (options.has("engine-streaming")) return;
+  options
+      .flag("engine-streaming", "false",
+            "stream machine summaries into the coordinator fold as they "
+            "finish (overlaps the machine and combine phases)")
+      .flag("engine-streaming-order", "canonical",
+            "streaming absorb order: 'canonical' (reorder buffer, "
+            "seed-for-seed identical to the barrier fold) or 'arrival'")
+      .flag("engine-queue-capacity", "0",
+            "completion-queue slots between machines and the coordinator "
+            "(0 = one per machine, producers never block)");
+}
+
+StreamingOptions streaming_options_from_options(const Options& options) {
+  StreamingOptions opts;
+  const std::string order = options.get_string("engine-streaming-order");
+  if (order == "canonical") {
+    opts.order = StreamingOrder::kCanonical;
+  } else if (order == "arrival") {
+    opts.order = StreamingOrder::kArrival;
+  } else {
+    std::fprintf(stderr,
+                 "flag --engine-streaming-order: '%s' is not one of "
+                 "'arrival', 'canonical'\n",
+                 order.c_str());
+    std::exit(2);
+  }
+  const std::int64_t capacity = options.get_int("engine-queue-capacity");
+  if (capacity < 0) {
+    std::fprintf(stderr,
+                 "flag --engine-queue-capacity: %lld must be >= 0\n",
+                 static_cast<long long>(capacity));
+    std::exit(2);
+  }
+  opts.queue_capacity = static_cast<std::size_t>(capacity);
+  return opts;
+}
+
+bool streaming_enabled_from_options(const Options& options) {
+  return options.get_bool("engine-streaming");
+}
+
+}  // namespace rcc

@@ -40,52 +40,114 @@ struct GroupedVcSummary {
   std::vector<VertexId> pinned_groups;
 };
 
-}  // namespace
+/// The grouping geometry plus the machine phase shared by the barrier and
+/// streaming grouped drivers.
+struct GroupedVcPhases {
+  VertexId n;
+  VertexId g;         // group width
+  VertexId n_groups;  // contracted universe size
+  const PeelingVcCoreset& coreset;
 
-VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
-                                     double alpha, Rng& rng, ThreadPool* pool) {
-  const VertexId n = graph.num_vertices();
-  const double log_n = std::log2(std::max<double>(n, 2.0));
-  const VertexId g = static_cast<VertexId>(
-      std::max(1.0, std::floor(alpha / log_n)));
-  const VertexId n_groups = (n + g - 1) / g;
-  const PeelingVcCoreset coreset;
+  static GroupedVcPhases make(const EdgeList& graph, double alpha,
+                              const PeelingVcCoreset& coreset) {
+    const VertexId n = graph.num_vertices();
+    const double log_n = std::log2(std::max<double>(n, 2.0));
+    const VertexId g = static_cast<VertexId>(
+        std::max(1.0, std::floor(alpha / log_n)));
+    return GroupedVcPhases{n, g, (n + g - 1) / g, coreset};
+  }
 
   // Machine phase: contract the shard onto the group universe, then run the
   // Theorem 2 coreset on the contracted multigraph. Edges internal to a
   // group cannot survive the contraction (they would be self-loops); the
   // machine pins those groups into its fixed solution instead, which is
   // sound because the expansion of the group contains both endpoints.
-  const auto build = [&](EdgeSpan shard, const PartitionContext& ctx,
-                         Rng& machine_rng) {
-    GroupedVcSummary summary;
-    std::vector<bool> pinned(n_groups, false);
-    EdgeList contracted(n_groups);
-    for (const Edge& e : shard) {
-      const VertexId gu = e.u / g;
-      const VertexId gv = e.v / g;
-      if (gu == gv) {
-        if (!pinned[gu]) {
-          pinned[gu] = true;
-          summary.pinned_groups.push_back(gu);
+  auto build() const {
+    return [this](EdgeSpan shard, const PartitionContext& ctx,
+                  Rng& machine_rng) {
+      GroupedVcSummary summary;
+      std::vector<bool> pinned(n_groups, false);
+      EdgeList contracted(n_groups);
+      for (const Edge& e : shard) {
+        const VertexId gu = e.u / g;
+        const VertexId gv = e.v / g;
+        if (gu == gv) {
+          if (!pinned[gu]) {
+            pinned[gu] = true;
+            summary.pinned_groups.push_back(gu);
+          }
+        } else {
+          contracted.add(gu, gv);  // multigraph: parallel edges preserved
         }
-      } else {
-        contracted.add(gu, gv);  // multigraph: parallel edges preserved
       }
-    }
-    // Edges incident to a pinned group are already covered locally.
-    contracted = contracted.filter(
-        [&](const Edge& e) { return !pinned[e.u] && !pinned[e.v]; });
-    const PartitionContext group_ctx{n_groups, ctx.k, ctx.machine_index, 0};
-    summary.core = coreset.build(contracted, group_ctx, machine_rng);
-    return summary;
-  };
+      // Edges incident to a pinned group are already covered locally.
+      contracted = contracted.filter(
+          [&](const Edge& e) { return !pinned[e.u] && !pinned[e.v]; });
+      const PartitionContext group_ctx{n_groups, ctx.k, ctx.machine_index, 0};
+      summary.core = coreset.build(contracted, group_ctx, machine_rng);
+      return summary;
+    };
+  }
 
   // The pinned groups travel in the message alongside the summary.
-  const auto account = [](const GroupedVcSummary& s) {
+  static MessageSize account(const GroupedVcSummary& s) {
     return MessageSize{s.core.residual_edges.num_edges(),
                        s.core.fixed_vertices.size() + s.pinned_groups.size()};
-  };
+  }
+
+  void expand_group(VertexCover& expanded, VertexId group) const {
+    const VertexId begin = group * g;
+    const VertexId end = std::min<VertexId>(begin + g, n);
+    for (VertexId v = begin; v < end; ++v) expanded.insert(v);
+  }
+};
+
+/// StreamingFold of the grouped protocol: absorb stages each machine's core
+/// (moved out of the retained summary) and expands its pinned groups;
+/// finish composes the group-universe coresets and expands the group cover.
+/// Pinned expansion is a set insert, so absorb order cannot change it.
+struct GroupedVcStreamFold {
+  const GroupedVcPhases& phases;
+  std::vector<VcCoresetOutput> cores;
+  VertexCover expanded;
+
+  explicit GroupedVcStreamFold(const GroupedVcPhases& phases)
+      : phases(phases), expanded(phases.n) {}
+
+  void init(std::size_t k) { cores.resize(k); }
+  void absorb(GroupedVcSummary& summary, std::size_t machine) {
+    cores[machine] = std::move(summary.core);
+    for (VertexId group : summary.pinned_groups) {
+      phases.expand_group(expanded, group);
+    }
+  }
+  VertexCover finish(std::vector<GroupedVcSummary>& /*summaries*/, Rng& rng) {
+    const VertexCover group_cover =
+        compose_vc_coresets(cores, phases.n_groups, rng);
+    for (VertexId group = 0; group < phases.n_groups; ++group) {
+      if (group_cover.contains(group)) phases.expand_group(expanded, group);
+    }
+    return std::move(expanded);
+  }
+};
+
+VcProtocolResult to_grouped_result(
+    ProtocolResult<VertexCover, GroupedVcSummary>&& engine_result,
+    const EdgeList& graph) {
+  VcProtocolResult result;
+  result.cover = std::move(engine_result.solution);
+  result.comm = std::move(engine_result.comm);
+  result.timing = engine_result.timing;
+  RCC_CHECK(result.cover.covers(graph));
+  return result;
+}
+
+}  // namespace
+
+VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
+                                     double alpha, Rng& rng, ThreadPool* pool) {
+  const PeelingVcCoreset coreset;
+  const GroupedVcPhases phases = GroupedVcPhases::make(graph, alpha, coreset);
 
   // Coordinator: compose the group-universe coresets, then expand the group
   // cover (and every pinned group) back to original vertices.
@@ -95,32 +157,54 @@ VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
     cores.reserve(summaries.size());
     for (GroupedVcSummary& s : summaries) cores.push_back(std::move(s.core));
     const VertexCover group_cover =
-        compose_vc_coresets(cores, n_groups, coordinator_rng);
+        compose_vc_coresets(cores, phases.n_groups, coordinator_rng);
 
-    VertexCover expanded(n);
-    const auto expand_group = [&](VertexId group) {
-      const VertexId begin = group * g;
-      const VertexId end = std::min<VertexId>(begin + g, n);
-      for (VertexId v = begin; v < end; ++v) expanded.insert(v);
-    };
-    for (VertexId group = 0; group < n_groups; ++group) {
-      if (group_cover.contains(group)) expand_group(group);
+    VertexCover expanded(phases.n);
+    for (VertexId group = 0; group < phases.n_groups; ++group) {
+      if (group_cover.contains(group)) phases.expand_group(expanded, group);
     }
     for (const GroupedVcSummary& s : summaries) {
-      for (VertexId group : s.pinned_groups) expand_group(group);
+      for (VertexId group : s.pinned_groups) {
+        phases.expand_group(expanded, group);
+      }
     }
     return expanded;
   };
 
-  auto engine_result = run_protocol(graph, k, /*left_size=*/0, rng, pool,
-                                    build, account, combine);
+  return to_grouped_result(
+      run_protocol(graph, k, /*left_size=*/0, rng, pool, phases.build(),
+                   &GroupedVcPhases::account, combine),
+      graph);
+}
 
-  VcProtocolResult result;
-  result.cover = std::move(engine_result.solution);
-  result.comm = std::move(engine_result.comm);
-  result.timing = engine_result.timing;
-  RCC_CHECK(result.cover.covers(graph));
-  return result;
+MatchingProtocolResult coreset_matching_protocol_streaming(
+    const EdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool, const StreamingOptions& streaming) {
+  const MaximumMatchingCoreset coreset;
+  return run_matching_protocol_streaming(graph, k, coreset,
+                                         ComposeSolver::kMaximum, left_size,
+                                         rng, pool, streaming);
+}
+
+VcProtocolResult coreset_vc_protocol_streaming(
+    const EdgeList& graph, std::size_t k, Rng& rng, ThreadPool* pool,
+    const StreamingOptions& streaming) {
+  const PeelingVcCoreset coreset;
+  return run_vc_protocol_streaming(graph, k, coreset, rng, pool, streaming);
+}
+
+VcProtocolResult grouped_vc_protocol_streaming(
+    const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
+    ThreadPool* pool, const StreamingOptions& streaming) {
+  const PeelingVcCoreset coreset;
+  const GroupedVcPhases phases = GroupedVcPhases::make(graph, alpha, coreset);
+  GroupedVcStreamFold fold(phases);
+  return to_grouped_result(
+      run_protocol_streaming<Edge>(
+          std::span<const Edge>(graph.edges().data(), graph.num_edges()),
+          graph.num_vertices(), k, /*left_size=*/0, rng, pool, phases.build(),
+          &GroupedVcPhases::account, fold, streaming),
+      graph);
 }
 
 }  // namespace rcc

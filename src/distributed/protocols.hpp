@@ -37,4 +37,18 @@ VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
                                      double alpha, Rng& rng,
                                      ThreadPool* pool = nullptr);
 
+/// Streaming variants of the named protocols (see
+/// run_matching_protocol_streaming for the order/determinism contract).
+MatchingProtocolResult coreset_matching_protocol_streaming(
+    const EdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
+
+VcProtocolResult coreset_vc_protocol_streaming(
+    const EdgeList& graph, std::size_t k, Rng& rng, ThreadPool* pool = nullptr,
+    const StreamingOptions& streaming = {});
+
+VcProtocolResult grouped_vc_protocol_streaming(
+    const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
+    ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
+
 }  // namespace rcc

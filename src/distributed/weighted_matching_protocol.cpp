@@ -1,29 +1,32 @@
 #include "distributed/weighted_matching_protocol.hpp"
 
+#include <utility>
+
 #include "matching/weighted.hpp"
 
 namespace rcc {
 
-WeightedMatchingProtocolResult weighted_matching_protocol(
-    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
-    ThreadPool* pool, double class_base) {
-  const auto build = [&](WeightedEdgeSpan piece, const PartitionContext& ctx,
-                         Rng& /*machine_rng*/) {
-    return crouch_stubbs_coreset(piece, ctx, class_base);
-  };
+namespace {
+
+/// The engine lambdas shared by the barrier and streaming entry points.
+struct WeightedMatchingPhases {
+  double class_base;
+
+  auto build() const {
+    return [this](WeightedEdgeSpan piece, const PartitionContext& ctx,
+                  Rng& /*machine_rng*/) {
+      return crouch_stubbs_coreset(piece, ctx, class_base);
+    };
+  }
   // A weighted edge message: two vertex ids + one weight word.
-  const auto account = [](const WeightedCoresetOutput& s) {
+  static MessageSize account(const WeightedCoresetOutput& s) {
     return MessageSize{s.edges.edges.size(), s.edges.edges.size()};
-  };
-  const auto combine = [&](std::vector<WeightedCoresetOutput>& summaries,
-                           Rng& /*coordinator_rng*/) {
-    return compose_weighted_coresets(summaries, graph.num_vertices, left_size,
-                                     class_base);
-  };
+  }
+};
 
-  auto engine_result =
-      run_protocol(graph, k, left_size, rng, pool, build, account, combine);
-
+WeightedMatchingProtocolResult to_weighted_result(
+    ProtocolResult<Matching, WeightedCoresetOutput>&& engine_result,
+    const WeightedEdgeList& graph, double class_base) {
   WeightedMatchingProtocolResult result;
   result.matching = std::move(engine_result.solution);
   result.matching_weight = matching_weight(result.matching, graph);
@@ -35,6 +38,62 @@ WeightedMatchingProtocolResult weighted_matching_protocol(
                  split_weight_classes(s.edges, class_base).classes.size());
   }
   return result;
+}
+
+/// StreamingFold of the weighted protocol: absorb concatenates the coreset
+/// edges (compose_weighted_coresets' union loop, streamed), finish runs the
+/// Crouch-Stubbs merge on the union.
+struct WeightedMatchingStreamFold {
+  VertexId num_vertices;
+  VertexId left_size;
+  double class_base;
+  WeightedEdgeList union_edges;
+
+  WeightedMatchingStreamFold(VertexId n, VertexId left_size, double class_base)
+      : num_vertices(n), left_size(left_size), class_base(class_base) {
+    union_edges.num_vertices = n;
+  }
+
+  void absorb(WeightedCoresetOutput& summary, std::size_t /*machine*/) {
+    RCC_CHECK(summary.edges.num_vertices == num_vertices);
+    union_edges.edges.insert(union_edges.edges.end(),
+                             summary.edges.edges.begin(),
+                             summary.edges.edges.end());
+  }
+  Matching finish(std::vector<WeightedCoresetOutput>& /*summaries*/,
+                  Rng& /*rng*/) {
+    return crouch_stubbs_matching(union_edges, left_size, class_base);
+  }
+};
+
+}  // namespace
+
+WeightedMatchingProtocolResult weighted_matching_protocol(
+    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool, double class_base) {
+  const WeightedMatchingPhases phases{class_base};
+  const auto combine = [&](std::vector<WeightedCoresetOutput>& summaries,
+                           Rng& /*coordinator_rng*/) {
+    return compose_weighted_coresets(summaries, graph.num_vertices, left_size,
+                                     class_base);
+  };
+
+  auto engine_result =
+      run_protocol(graph, k, left_size, rng, pool, phases.build(),
+                   &WeightedMatchingPhases::account, combine);
+  return to_weighted_result(std::move(engine_result), graph, class_base);
+}
+
+WeightedMatchingProtocolResult weighted_matching_protocol_streaming(
+    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    ThreadPool* pool, double class_base, const StreamingOptions& streaming) {
+  const WeightedMatchingPhases phases{class_base};
+  WeightedMatchingStreamFold fold(graph.num_vertices, left_size, class_base);
+  auto engine_result = run_protocol_streaming<WeightedEdge>(
+      std::span<const WeightedEdge>(graph.edges.data(), graph.edges.size()),
+      graph.num_vertices, k, left_size, rng, pool, phases.build(),
+      &WeightedMatchingPhases::account, fold, streaming);
+  return to_weighted_result(std::move(engine_result), graph, class_base);
 }
 
 }  // namespace rcc

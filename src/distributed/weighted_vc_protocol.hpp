@@ -39,4 +39,13 @@ WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
                                               std::size_t k, Rng& rng,
                                               ThreadPool* pool = nullptr);
 
+/// Streaming variant: the coordinator folds each machine's class summaries
+/// (fixed-vertex union + residual concatenation) as they land and runs the
+/// weighted local-ratio step after the last one. Canonical order is
+/// seed-for-seed identical to the barrier entry point.
+WeightedVcProtocolResult weighted_vc_protocol_streaming(
+    const EdgeList& graph, const VertexWeights& weights, std::size_t k,
+    Rng& rng, ThreadPool* pool = nullptr,
+    const StreamingOptions& streaming = {});
+
 }  // namespace rcc

@@ -20,68 +20,41 @@ std::uint64_t path_words(const std::vector<AugmentingPath>& paths) {
   return words;
 }
 
-}  // namespace
+/// Streaming-shaped round-combiner: absorb stages pointers into the
+/// machines' path batches as they land (the batches live in the engine's
+/// retained summary vector, which is pre-sized and stable, so the pointers
+/// survive until finish), finish resolves conflicts and applies. Absorb
+/// never touches the matching the machine phase searches against, so it is
+/// safe to overlap with shard searches.
+struct AugmentingRoundFold {
+  Matching& matched;
+  const AugmentingRoundsConfig& aug;
+  bool& certified;
+  VertexId num_vertices;
+  std::vector<const AugmentingPath*> candidates;
 
-AugmentingRoundsConfig AugmentingRoundsConfig::for_epsilon(double epsilon) {
-  RCC_CHECK(epsilon > 0.0);
-  // Smallest k with 1/(k+1) <= epsilon; nudge before ceil so that exact
-  // reciprocals (0.5, 0.25, ...) do not round up a slot on fp noise. Clamp
-  // before the cast: a vanishing epsilon would otherwise overflow size_t
-  // (UB), and no graph needs a path cap anywhere near the clamp.
-  constexpr double kMaxSlots = 1e9;
-  const double slots =
-      std::min(std::ceil(1.0 / epsilon - 1e-9), kMaxSlots);
-  const std::size_t k_plus_1 =
-      std::max<std::size_t>(1, static_cast<std::size_t>(slots));
-  AugmentingRoundsConfig config;
-  config.max_path_length = 2 * (k_plus_1 - 1) + 1;
-  return config;
-}
+  void absorb(std::vector<AugmentingPath>& machine_paths,
+              std::size_t /*machine*/, MpcRoundContext& /*ctx*/) {
+    for (const AugmentingPath& p : machine_paths) candidates.push_back(&p);
+  }
 
-AugmentingMpcResult run_matching_rounds_augmenting(
-    const EdgeList& graph, const MpcEngineConfig& config,
-    const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
-    ThreadPool* pool) {
-  RCC_CHECK(aug.max_path_length % 2 == 1);
-
-  Matching matched(graph.num_vertices());
-  bool certified = false;
-
-  // The executor's no-progress check compares surviving edge counts, which
-  // this combiner keeps flat on purpose (matched edges are future matched
-  // hops); termination is the certificate below.
-  MpcEngineConfig exec = config;
-  exec.early_stop = false;
-  exec.round_label = "augmenting-round";
-
-  const auto build = [&](EdgeSpan piece, const PartitionContext&, Rng&) {
-    // M is stable for the whole machine phase (the fold owns all writes), so
-    // concurrent shard searches against it are safe.
-    return find_augmenting_paths(piece, matched, aug.max_path_length);
-  };
-  const auto account = [](const std::vector<AugmentingPath>& paths) {
-    return MessageSize{0, path_words(paths)};
-  };
-  const auto fold = [&](std::vector<std::vector<AugmentingPath>>& summaries,
-                        MpcRoundContext& ctx, Rng&) {
+  EdgeList finish(std::vector<std::vector<AugmentingPath>>& /*summaries*/,
+                  MpcRoundContext& ctx, Rng& /*coordinator_rng*/) {
     // The matching every machine searched against was broadcast at the top
     // of this super-step: charge each machine for holding it.
     ctx.charge_all(2 * static_cast<std::uint64_t>(matched.size()));
 
     // First-wins in canonical order: paths from different (disjoint) shards
     // can still collide on vertices, and the flat lexicographic order makes
-    // the outcome independent of machine count and thread schedule. A
-    // surviving path is vertex-disjoint from every previously applied one,
-    // so it is still augmenting for the updated M.
-    std::vector<const AugmentingPath*> candidates;
-    for (const std::vector<AugmentingPath>& machine_paths : summaries) {
-      for (const AugmentingPath& p : machine_paths) candidates.push_back(&p);
-    }
+    // the outcome independent of machine count, thread schedule, AND absorb
+    // order (the sort erases arrival effects). A surviving path is
+    // vertex-disjoint from every previously applied one, so it is still
+    // augmenting for the updated M.
     std::sort(candidates.begin(), candidates.end(),
               [](const AugmentingPath* a, const AugmentingPath* b) {
                 return canonical_less(*a, *b);
               });
-    std::vector<char> touched(graph.num_vertices(), 0);
+    std::vector<char> touched(num_vertices, 0);
     std::size_t applied = 0;
     for (const AugmentingPath* p : candidates) {
       bool conflict = false;
@@ -91,6 +64,7 @@ AugmentingMpcResult run_matching_rounds_augmenting(
       apply_augmenting_path(matched, *p);
       ++applied;
     }
+    candidates.clear();
 
     if (applied == 0) {
       // No shard held a whole path. The coordinator sweeps the round's full
@@ -118,9 +92,58 @@ AugmentingMpcResult run_matching_rounds_augmenting(
         }
       }
     }
+    // Applied paths are the round's progress units: the survivors stay flat
+    // on purpose (matched edges are future matched hops), so this is what
+    // keeps the executor's stagnation check from firing on a working round.
     ctx.note_progress(applied);
     return ctx.active_edges().to_edge_list();
+  }
+};
+
+}  // namespace
+
+AugmentingRoundsConfig AugmentingRoundsConfig::for_epsilon(double epsilon) {
+  RCC_CHECK(epsilon > 0.0);
+  // Smallest k with 1/(k+1) <= epsilon; nudge before ceil so that exact
+  // reciprocals (0.5, 0.25, ...) do not round up a slot on fp noise. Clamp
+  // before the cast: a vanishing epsilon would otherwise overflow size_t
+  // (UB), and no graph needs a path cap anywhere near the clamp.
+  constexpr double kMaxSlots = 1e9;
+  const double slots =
+      std::min(std::ceil(1.0 / epsilon - 1e-9), kMaxSlots);
+  const std::size_t k_plus_1 =
+      std::max<std::size_t>(1, static_cast<std::size_t>(slots));
+  AugmentingRoundsConfig config;
+  config.max_path_length = 2 * (k_plus_1 - 1) + 1;
+  return config;
+}
+
+AugmentingMpcResult run_matching_rounds_augmenting(
+    const EdgeList& graph, const MpcEngineConfig& config,
+    const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
+    ThreadPool* pool) {
+  RCC_CHECK(aug.max_path_length % 2 == 1);
+
+  Matching matched(graph.num_vertices());
+  bool certified = false;
+
+  // This combiner keeps the surviving edge counts flat on purpose (matched
+  // edges are future matched hops), but it reports every applied path as a
+  // progress unit, so the executor's progress-aware early stop is safe to
+  // honor as configured; termination is normally the certificate below.
+  MpcEngineConfig exec = config;
+  exec.round_label = "augmenting-round";
+
+  const auto build = [&](EdgeSpan piece, const PartitionContext&, Rng&) {
+    // M is stable for the whole machine phase (the fold's absorb only stages
+    // candidates; all writes happen in finish), so concurrent shard searches
+    // against it are safe — including overlapped with streaming absorbs.
+    return find_augmenting_paths(piece, matched, aug.max_path_length);
   };
+  const auto account = [](const std::vector<AugmentingPath>& paths) {
+    return MessageSize{0, path_words(paths)};
+  };
+  AugmentingRoundFold fold{matched, aug, certified, graph.num_vertices(), {}};
 
   AugmentingMpcResult result;
   result.stats =

@@ -1,11 +1,13 @@
 #include "mpc/coreset_mpc.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "coreset/compose.hpp"
 #include "coreset/matching_coresets.hpp"
 #include "coreset/vc_coreset.hpp"
 #include "matching/greedy.hpp"
+#include "matching/max_matching.hpp"
 
 namespace rcc {
 
@@ -19,6 +21,79 @@ MpcEngineConfig single_round_config(const MpcConfig& mpc,
   config.input_already_random = input_already_random;
   return config;
 }
+
+/// Streaming-shaped round-combiner of the iterated matching rounds: absorb
+/// unions the coreset subgraphs as they land (in canonical order the union
+/// is byte-identical to compose_matching_coresets' EdgeList::union_of), and
+/// finish solves the union, extends the cumulative matching, and filters the
+/// survivors. Absorb only appends to the coordinator's union — it touches
+/// nothing the machine phase reads, so it is safe to overlap with builds.
+struct MatchingRoundFold {
+  Matching& matched;
+  VertexId left_size;
+  EdgeList round_union;
+
+  MatchingRoundFold(Matching& matched, VertexId num_vertices,
+                    VertexId left_size)
+      : matched(matched), left_size(left_size), round_union(num_vertices) {}
+
+  void absorb(EdgeList& summary, std::size_t /*machine*/,
+              MpcRoundContext& /*ctx*/) {
+    round_union.append(summary);
+  }
+
+  EdgeList finish(std::vector<EdgeList>& /*summaries*/, MpcRoundContext& ctx,
+                  Rng& /*coordinator_rng*/) {
+    // Every round's input has both endpoints unmatched, so the round
+    // matching is vertex-disjoint from the cumulative one and the extension
+    // keeps all of it (round 0: the whole single-round solution). The solve
+    // is compose_matching_coresets' kMaximum branch over the absorbed union.
+    const Matching round_matching = maximum_matching(round_union, left_size);
+    greedy_extend(matched, round_matching.to_edge_list());
+    round_union = EdgeList(round_union.num_vertices());
+    return ctx.active_edges().filter([&](const Edge& e) {
+      return !matched.is_matched(e.u) && !matched.is_matched(e.v);
+    });
+  }
+};
+
+/// Streaming-shaped VC round-combiner: absorb accumulates the peeled (fixed)
+/// vertices per machine; finish either commits them and carries the edges
+/// they leave uncovered, or — on the last round / a stalled intermediate one
+/// — runs the full composition over the retained summaries.
+struct VcRoundFold {
+  VertexCover& cover;
+  VertexId n;
+  VertexCover round_fixed;
+
+  VcRoundFold(VertexCover& cover, VertexId n)
+      : cover(cover), n(n), round_fixed(n) {}
+
+  void absorb(VcCoresetOutput& summary, std::size_t /*machine*/,
+              MpcRoundContext& /*ctx*/) {
+    for (VertexId v : summary.fixed_vertices) round_fixed.insert(v);
+  }
+
+  EdgeList finish(std::vector<VcCoresetOutput>& summaries,
+                  MpcRoundContext& ctx, Rng& coordinator_rng) {
+    if (!ctx.last_round() && round_fixed.size() > 0) {
+      // Intermediate round: commit only the peeled vertices and carry the
+      // edges they do not cover. If no machine peeled anything, another
+      // identical round cannot make progress — fall through and finish now.
+      cover.merge(round_fixed);
+      round_fixed = VertexCover(n);
+      return ctx.active_edges().filter([&](const Edge& e) {
+        return !cover.contains(e.u) && !cover.contains(e.v);
+      });
+    }
+    // Final round: the full composition (fixed vertices + 2-approximation
+    // of the residual union) covers everything still active.
+    cover.merge(compose_vc_coresets(summaries, n, coordinator_rng));
+    round_fixed = VertexCover(n);
+    ctx.request_stop();
+    return EdgeList(n);
+  }
+};
 
 }  // namespace
 
@@ -35,18 +110,7 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
   const auto account = [](const EdgeList& summary) {
     return MessageSize{summary.num_edges(), 0};
   };
-  const auto fold = [&](std::vector<EdgeList>& summaries, MpcRoundContext& ctx,
-                        Rng& coordinator_rng) {
-    // Every round's input has both endpoints unmatched, so the round
-    // matching is vertex-disjoint from the cumulative one and the extension
-    // keeps all of it (round 0: the whole single-round solution).
-    const Matching round_matching = compose_matching_coresets(
-        summaries, ComposeSolver::kMaximum, left_size, coordinator_rng);
-    greedy_extend(matched, round_matching.to_edge_list());
-    return ctx.active_edges().filter([&](const Edge& e) {
-      return !matched.is_matched(e.u) && !matched.is_matched(e.v);
-    });
-  };
+  MatchingRoundFold fold(matched, graph.num_vertices(), left_size);
 
   CoresetMpcMatchingResult result;
   result.stats =
@@ -72,29 +136,7 @@ CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(const EdgeList& graph,
     return MessageSize{summary.residual_edges.num_edges(),
                        summary.fixed_vertices.size()};
   };
-  const auto fold = [&](std::vector<VcCoresetOutput>& summaries,
-                        MpcRoundContext& ctx, Rng& coordinator_rng) {
-    if (!ctx.last_round()) {
-      // Intermediate round: commit only the peeled (fixed) vertices and
-      // carry the edges they do not cover. If no machine peeled anything,
-      // another identical round cannot make progress — finish now instead.
-      VertexCover fixed(n);
-      for (const VcCoresetOutput& s : summaries) {
-        for (VertexId v : s.fixed_vertices) fixed.insert(v);
-      }
-      if (fixed.size() > 0) {
-        cover.merge(fixed);
-        return ctx.active_edges().filter([&](const Edge& e) {
-          return !cover.contains(e.u) && !cover.contains(e.v);
-        });
-      }
-    }
-    // Final round: the full composition (fixed vertices + 2-approximation
-    // of the residual union) covers everything still active.
-    cover.merge(compose_vc_coresets(summaries, n, coordinator_rng));
-    ctx.request_stop();
-    return EdgeList(n);
-  };
+  VcRoundFold fold(cover, n);
 
   CoresetMpcVcResult result;
   result.stats = run_mpc_rounds(graph, config, /*left_size=*/0, rng, pool,

@@ -7,54 +7,48 @@
 
 namespace rcc {
 
-FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
-                                        const MpcEngineConfig& config, Rng& rng,
-                                        ThreadPool* pool) {
-  const VertexId n = graph.num_vertices();
-  const std::uint64_t memory_edges = config.mpc.memory_words / 2;
-  RCC_CHECK(memory_edges > 0);
+namespace {
 
-  MpcEngineConfig engine_config = config;
-  // Filtering never reshuffles (sampling is oblivious to placement), models
-  // map-side residency in its own broadcast step, and must keep resampling
-  // even when an unlucky round makes no progress.
-  engine_config.input_already_random = true;
-  engine_config.charge_input_residency = false;
-  engine_config.early_stop = false;
-  engine_config.round_label = "sample-and-match";
-
-  FilteringMpcResult result;
-  result.completed = false;
-  Matching m(n);
-
-  // The coordinator's plan for the next round, updated in the fold (it rides
-  // the V(M) broadcast in the real protocol): ship everything once the
-  // residual fits on one machine, otherwise sample at a rate that lands an
-  // expected memory/2 words on the central machine.
-  bool finish = false;
+/// Streaming-shaped round-combiner of the filtering baseline: absorb greedily
+/// extends the central matching with each machine's sample as it arrives
+/// (canonical order replays the barrier fold's in-order loop draw-for-draw),
+/// finish runs the broadcast-and-filter super-step. Absorb mutates only the
+/// coordinator's matching, which the sampling build phase never reads, so
+/// overlapping it with the machine phase is safe.
+struct FilteringRoundFold {
+  FilteringMpcResult& result;
+  Matching& m;
+  VertexId n;
+  std::uint64_t memory_edges;
+  /// The coordinator's plan for the next round, updated in finish (it rides
+  /// the V(M) broadcast in the real protocol): ship everything once the
+  /// residual fits on one machine, otherwise sample at a rate that lands an
+  /// expected memory/2 words on the central machine. The build lambda reads
+  /// these between rounds — never while a round's absorbs are in flight.
+  bool finish_round = false;
   double rate = 1.0;
-  const auto plan_for = [&](std::size_t active_edges) {
-    finish = active_edges <= memory_edges;
-    rate = finish ? 1.0
-                  : static_cast<double>(memory_edges) /
-                        (2.0 * static_cast<double>(active_edges));
-  };
-  plan_for(graph.num_edges());
 
-  const auto build = [&](EdgeSpan piece, const PartitionContext&,
-                         Rng& machine_rng) {
-    if (finish) return piece.to_edge_list();  // residual fits: ship it all
-    return piece.filter(
-        [&](const Edge&) { return machine_rng.bernoulli(rate); });
-  };
-  const auto account = [](const EdgeList& summary) {
-    return MessageSize{summary.num_edges(), 0};
-  };
-  const auto fold = [&](std::vector<EdgeList>& summaries, MpcRoundContext& ctx,
-                        Rng&) {
+  void plan_for(std::size_t active_edges) {
+    finish_round = active_edges <= memory_edges;
+    rate = finish_round ? 1.0
+                        : static_cast<double>(memory_edges) /
+                              (2.0 * static_cast<double>(active_edges));
+  }
+
+  void absorb(EdgeList& sample, std::size_t /*machine*/,
+              MpcRoundContext& ctx) {
     // Central machine: maximal matching of the collected sample, merged.
-    for (const EdgeList& sample : summaries) greedy_extend(m, sample);
-    if (finish) {
+    // Newly matched edges are the round's progress units — the executor's
+    // stagnation check must not stop a run whose survivors happen to be
+    // flat while the matching is still growing.
+    const std::size_t before = m.size();
+    greedy_extend(m, sample);
+    ctx.note_progress(m.size() - before);
+  }
+
+  EdgeList finish(std::vector<EdgeList>& /*samples*/, MpcRoundContext& ctx,
+                  Rng& /*coordinator_rng*/) {
+    if (finish_round) {
       result.completed = true;
       ctx.request_stop();
       return EdgeList(n);
@@ -78,6 +72,49 @@ FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
       plan_for(survivors.num_edges());
     }
     return survivors;
+  }
+};
+
+}  // namespace
+
+FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
+                                        const MpcEngineConfig& config, Rng& rng,
+                                        ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  const std::uint64_t memory_edges = config.mpc.memory_words / 2;
+  RCC_CHECK(memory_edges > 0);
+
+  MpcEngineConfig engine_config = config;
+  // Filtering never reshuffles (sampling is oblivious to placement) and
+  // models map-side residency in its own broadcast step. early_stop is
+  // honored as configured: the fold reports every newly matched edge as
+  // progress, so the executor only stops on a round that neither matched
+  // nor filtered anything. The only such round is an all-empty sample draw
+  // — survivors all have both endpoints unmatched, so any nonempty sample
+  // matches at least one edge. P(all empty) = (1-rate)^survivors <=
+  // e^(-memory_words/4) per round, negligible for any real budget; a
+  // degenerate-budget caller that wants pure Las-Vegas resampling instead
+  // can pass early_stop = false (the run is honestly marked incomplete
+  // either way).
+  engine_config.input_already_random = true;
+  engine_config.charge_input_residency = false;
+  engine_config.round_label = "sample-and-match";
+
+  FilteringMpcResult result;
+  result.completed = false;
+  Matching m(n);
+
+  FilteringRoundFold fold{result, m, n, memory_edges};
+  fold.plan_for(graph.num_edges());
+
+  const auto build = [&](EdgeSpan piece, const PartitionContext&,
+                         Rng& machine_rng) {
+    if (fold.finish_round) return piece.to_edge_list();  // residual fits
+    return piece.filter(
+        [&](const Edge&) { return machine_rng.bernoulli(fold.rate); });
+  };
+  const auto account = [](const EdgeList& summary) {
+    return MessageSize{summary.num_edges(), 0};
   };
 
   result.stats = run_mpc_rounds(graph, engine_config, /*left_size=*/0, rng,

@@ -37,13 +37,15 @@ void add_mpc_engine_flags(Options& options) {
             "input is already randomly partitioned (skips the re-partition "
             "round)")
       .flag("mpc-early-stop", "true",
-            "stop as soon as a round makes no progress")
+            "stop as soon as a round neither shrinks the survivors nor "
+            "reports progress units")
       .flag("mpc-max-path-length", "3",
             "augmenting combiner: odd augmenting-path length cap 2k+1 "
             "(certifies a 1 + 1/(k+1) approximation at the early stop)")
       .flag("mpc-epsilon", "0",
             "augmenting combiner: target (1+eps) approximation; overrides "
             "--mpc-max-path-length when > 0");
+  add_streaming_flags(options);
 }
 
 MpcEngineConfig mpc_engine_config_from_options(const Options& options,
@@ -60,6 +62,8 @@ MpcEngineConfig mpc_engine_config_from_options(const Options& options,
       static_cast<std::size_t>(flag_at_least(options, "mpc-rounds", 1));
   config.input_already_random = options.get_bool("mpc-random-input");
   config.early_stop = options.get_bool("mpc-early-stop");
+  config.streaming_fold = streaming_enabled_from_options(options);
+  config.streaming = streaming_options_from_options(options);
   return config;
 }
 

@@ -37,8 +37,10 @@
 // the legacy single-round entry points are thin wrappers over them.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -68,9 +70,21 @@ struct MpcEngineConfig {
   bool input_already_random = true;
 
   /// Stop as soon as an iteration leaves the surviving edge set unchanged
-  /// (the combiner made no progress). Runs always stop when no edges
-  /// survive or the fold requests it.
+  /// AND the fold reported no progress units (combiners whose survivors
+  /// never shrink — the augmenting-path fold recirculates every edge —
+  /// report real progress via MpcRoundContext::note_progress and are not
+  /// stopped by this check). Runs always stop when no edges survive or the
+  /// fold requests it.
   bool early_stop = true;
+
+  /// Stream summaries into the round-combiner as machines finish instead of
+  /// folding after the collect barrier. Requires an absorb/finish fold (see
+  /// run_mpc_rounds); ignored for plain callable folds. Canonical order
+  /// preserves seed-for-seed equality with the barrier fold.
+  bool streaming_fold = false;
+
+  /// Absorb order + completion-queue capacity when streaming_fold is set.
+  StreamingOptions streaming;
 
   /// Charge every machine 2*|shard| words for holding its piece of the
   /// round's input (the coreset algorithms' accounting). Protocols that
@@ -180,15 +194,37 @@ struct MpcExecutionStats {
   std::vector<std::uint64_t> round_peak_words;  // parallel to round_labels
 };
 
+/// True for round-combiners written in the streaming shape: per-machine
+/// absorb plus an end-of-round finish. Such a fold can run behind the
+/// barrier (absorbed in index order after the collect — byte-identical to a
+/// plain callable fold that loops the summaries in order) or streamed
+/// through the engine's completion queue when config.streaming_fold is set.
+template <typename Fold, typename Summary>
+concept StreamingRoundFold =
+    requires(Fold& f, Summary& s, std::vector<Summary>& all,
+             MpcRoundContext& ctx, Rng& rng) {
+      f.absorb(s, std::size_t{0}, ctx);
+      { f.finish(all, ctx, rng) } -> std::convertible_to<EdgeList>;
+    };
+
 /// Drives up to config.max_rounds ProtocolEngine rounds. The caller's
 /// cumulative solution lives in the fold's captures; the executor owns the
 /// shrinking edge set, the ledger, and the per-round accounting.
+///
+/// Two fold shapes are accepted:
+///   fold(summaries, round, rng) -> EdgeList        the plain callable fold
+///   fold.absorb(summary, machine, round)           streaming-capable fold;
+///   fold.finish(summaries, round, rng) -> EdgeList absorbed per machine
+/// Streaming-capable folds run through the engine's streaming combine path
+/// when config.streaming_fold is set (machine M's collect words are then
+/// charged per absorbed summary instead of all at once — same totals, same
+/// peaks) and behind the barrier otherwise.
 template <typename Build, typename Account, typename Fold>
 MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
                                  const MpcEngineConfig& config,
                                  VertexId left_size, Rng& rng, ThreadPool* pool,
                                  const Build& build, const Account& account,
-                                 const Fold& fold) {
+                                 Fold&& fold) {
   const std::size_t k = config.mpc.num_machines;
   RCC_CHECK(k >= 1);
   RCC_CHECK(config.max_rounds >= 1);
@@ -227,20 +263,58 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
     }
 
     // Machine + combine phases on the ProtocolEngine. Machine M is charged
-    // for the collected summaries before the fold runs (and before any
-    // super-step the fold opens), mirroring the coreset round's "send
-    // everything to M" collect.
+    // for the collected summaries before the fold's processing runs (and
+    // before any super-step the fold opens), mirroring the coreset round's
+    // "send everything to M" collect; the streaming path charges each
+    // summary as it is absorbed — same totals, same per-round peaks.
     MpcRoundContext round_ctx(
         ledger, EdgeSpan(parts.arena().data(), parts.num_edges(), n), r,
         config.max_rounds);
-    auto result = run_protocol_on_pieces<Edge>(
-        pieces_of(parts), n, left_size, rng, pool, build, account,
-        [&](auto& summaries, Rng& coordinator_rng) {
-          std::uint64_t collected = 0;
-          for (const auto& s : summaries) collected += account(s).words();
-          ledger.charge(0, collected);
-          return fold(summaries, round_ctx, coordinator_rng);
-        });
+    using Summary = std::decay_t<std::invoke_result_t<
+        const Build&, EdgeSpan, const PartitionContext&, Rng&>>;
+    constexpr bool streaming_capable =
+        StreamingRoundFold<std::remove_reference_t<Fold>, Summary>;
+    const auto run_round = [&] {
+      if constexpr (streaming_capable) {
+        if (config.streaming_fold) {
+          struct RoundStreamAdapter {
+            std::remove_reference_t<Fold>& fold;
+            MpcRoundContext& ctx;
+            MpcLedger& ledger;
+            void absorb(Summary& s, std::size_t machine,
+                        const MessageSize& cost) {
+              ledger.charge(0, cost.words());
+              fold.absorb(s, machine, ctx);
+            }
+            EdgeList finish(std::vector<Summary>& all, Rng& rng) {
+              return fold.finish(all, ctx, rng);
+            }
+          } adapter{fold, round_ctx, ledger};
+          return run_protocol_streaming_on_pieces<Edge>(
+              pieces_of(parts), n, left_size, rng, pool, build, account,
+              adapter, config.streaming);
+        }
+      }
+      return run_protocol_on_pieces<Edge>(
+          pieces_of(parts), n, left_size, rng, pool, build, account,
+          [&](auto& summaries, Rng& coordinator_rng) {
+            // account is a pure cost function (the engine already evaluated
+            // it into comm.per_machine); re-summing here keeps the barrier
+            // fold's contract independent of the engine result's layout.
+            std::uint64_t collected = 0;
+            for (const auto& s : summaries) collected += account(s).words();
+            ledger.charge(0, collected);
+            if constexpr (streaming_capable) {
+              for (std::size_t i = 0; i < summaries.size(); ++i) {
+                fold.absorb(summaries[i], i, round_ctx);
+              }
+              return fold.finish(summaries, round_ctx, coordinator_rng);
+            } else {
+              return fold(summaries, round_ctx, coordinator_rng);
+            }
+          });
+    };
+    auto result = run_round();
     result.timing.partition_seconds = partition_seconds;
 
     const std::size_t active = input.num_edges();
@@ -262,14 +336,23 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
     }
     report.augmentations = round_ctx.progress_units();
     stats.total_augmentations += round_ctx.progress_units();
-    if (round_ctx.certified_ratio() > 0.0) {
-      stats.certified_ratio = round_ctx.certified_ratio();
-    }
+    // The certificate is a statement about the solution as of THIS round: an
+    // uncertified later round that keeps mutating the solution clears any
+    // stale ratio a previous round attached (a fold that certifies and keeps
+    // running must re-certify every round the bound still holds).
+    stats.certified_ratio = round_ctx.certified_ratio();
     report.timing = result.timing;
     stats.per_round.push_back(report);
 
     if (round_ctx.stop_requested() || survivors.empty()) break;
-    if (config.early_stop && survivors.num_edges() == active) break;
+    // Stagnation: nothing shrank AND the fold reported no progress units.
+    // Edge-recirculating combiners keep survivors == active on purpose;
+    // their note_progress calls are what distinguishes a working round from
+    // a stalled one.
+    if (config.early_stop && survivors.num_edges() == active &&
+        round_ctx.progress_units() == 0) {
+      break;
+    }
   }
 
   stats.mpc_rounds = ledger.rounds();
@@ -287,6 +370,8 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
 ///   --mpc-random-input   input already randomly partitioned (skips the
 ///                        re-partition round)
 ///   --mpc-early-stop     stop when a round makes no progress
+/// plus the engine streaming knobs (add_streaming_flags):
+///   --engine-streaming / --engine-streaming-order / --engine-queue-capacity
 void add_mpc_engine_flags(Options& options);
 
 /// Reads the knobs registered by add_mpc_engine_flags back into a config for

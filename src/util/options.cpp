@@ -1,6 +1,7 @@
 #include "util/options.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,8 +69,17 @@ std::int64_t Options::get_int(const std::string& name) const {
   char* end = nullptr;
   errno = 0;
   const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+  // Strict parsing: reject trailing junk AND silent saturation. Without the
+  // ERANGE check strtoll clamps out-of-range values to LLONG_MIN/LLONG_MAX,
+  // which would run an experiment with a configuration nobody asked for.
+  if (end == v.c_str() || *end != '\0') {
     std::fprintf(stderr, "flag --%s: '%s' is not a representable integer\n",
+                 name.c_str(), v.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr,
+                 "flag --%s: '%s' overflows the 64-bit integer range\n",
                  name.c_str(), v.c_str());
     std::exit(2);
   }
@@ -81,8 +91,21 @@ double Options::get_double(const std::string& name) const {
   char* end = nullptr;
   errno = 0;
   const double parsed = std::strtod(v.c_str(), &end);
-  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+  if (end == v.c_str() || *end != '\0') {
     std::fprintf(stderr, "flag --%s: '%s' is not a representable number\n",
+                 name.c_str(), v.c_str());
+    std::exit(2);
+  }
+  // Same strictness as get_int, but only where the value actually degraded:
+  // ERANGE with +-HUGE_VAL is overflow and ERANGE with 0.0 is total
+  // underflow — in both cases the program would run with a value the user
+  // did not write. glibc also sets ERANGE for gradual underflow to a
+  // subnormal (e.g. 1e-310) even though the returned value is faithful, so
+  // a nonzero finite result passes.
+  if (errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL ||
+                          parsed == 0.0)) {
+    std::fprintf(stderr,
+                 "flag --%s: '%s' is outside the representable double range\n",
                  name.c_str(), v.c_str());
     std::exit(2);
   }

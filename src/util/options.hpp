@@ -20,6 +20,12 @@ class Options {
   Options& flag(const std::string& name, const std::string& default_value,
                 const std::string& help);
 
+  /// True when a flag of this name is registered. Lets composable flag
+  /// bundles (add_streaming_flags, add_mpc_engine_flags — which includes
+  /// the former) be registered idempotently instead of aborting on the
+  /// duplicate.
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
   /// Parses argv; aborts on unknown flags; exits(0) after printing --help.
   void parse(int argc, char** argv);
 

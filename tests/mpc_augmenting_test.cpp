@@ -88,6 +88,56 @@ TEST(MpcAugmentingGolden, Seed8PinsMatchedEdgesAndPerRoundCommWords) {
   }
 }
 
+TEST(MpcAugmentingGolden, StreamingCanonicalFoldReproducesTheSeed7Pins) {
+  // The streaming combine path in canonical order must replay the frozen
+  // golden behavior bit for bit: same matched edges, same per-round comm
+  // words, same ledger peaks (collect words are charged per absorbed summary
+  // instead of all at once — totals and peaks must not move).
+  const EdgeList el = crown_forest(4, 3);
+  AugmentingRoundsConfig aug;
+  aug.max_path_length = 3;
+  MpcEngineConfig config = engine_config(el, 32);
+  config.streaming_fold = true;
+  ThreadPool pool(4);
+  Rng rng(7);
+  const AugmentingMpcResult r =
+      run_matching_rounds_augmenting(el, config, aug, 0, rng, &pool);
+  const std::vector<Edge> expected = {
+      {0, 5},   {1, 3},   {2, 4},   {6, 10},  {7, 11},  {8, 9},
+      {12, 16}, {13, 17}, {14, 15}, {18, 22}, {19, 23}, {20, 21}};
+  EXPECT_EQ(sorted_edges(r.matching), expected);
+  EXPECT_TRUE(r.certified);
+  EXPECT_EQ(r.total_augmentations, 12u);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_EQ(r.max_memory_words, 76u);
+  ASSERT_EQ(r.stats.per_round.size(), 4u);
+  const std::vector<std::uint64_t> comm = {40, 16, 4, 0};
+  for (std::size_t i = 0; i < comm.size(); ++i) {
+    EXPECT_EQ(r.stats.per_round[i].comm_words, comm[i]) << "round " << i;
+  }
+}
+
+TEST(MpcAugmenting, CertificateDoesNotGoStaleWhenLaterRoundsKeepWorking) {
+  // Pin the certified_ratio lifecycle at the executor level: the augmenting
+  // combiner certifies only when it also stops, so a reported ratio must
+  // belong to the FINAL round. A capped run that never certified reports
+  // 0.0 in both places, and a certified run reports the same bound in both.
+  Rng gen_rng(75);
+  const EdgeList el = random_bipartite(50, 50, 0.08, gen_rng);
+  const AugmentingMpcResult certified = run_on(el, 75);
+  ASSERT_TRUE(certified.certified);
+  EXPECT_GT(certified.stats.certified_ratio, 0.0);
+  // The certificate round is the last one: certifying implies request_stop,
+  // so no later uncertified round can be attached to this ratio.
+  EXPECT_EQ(certified.stats.per_round.back().augmentations, 0u);
+  EXPECT_EQ(certified.stats.certified_ratio, certified.certified_ratio);
+
+  const AugmentingMpcResult capped = run_on(el, 75, nullptr, 3, 1);
+  if (!capped.certified) {
+    EXPECT_EQ(capped.stats.certified_ratio, 0.0);
+  }
+}
+
 TEST(MpcAugmenting, SeedForSeedDeterministicAcrossThreadCounts) {
   Rng gen_rng(40);
   const EdgeList el = gnp(400, 0.02, gen_rng);

@@ -312,6 +312,202 @@ TEST(MpcRoundsReports, PerRoundLedgerIsConsistent) {
   EXPECT_EQ(r.stats.mpc_rounds, r.stats.round_labels.size());
 }
 
+TEST(MpcRoundsEarlyStop, ProgressReportingFoldIsNotStoppedWhileItWorks) {
+  // Regression: the executor used to stop on `survivors == active` alone,
+  // which broke every edge-recirculating combiner (augmenting/filtering had
+  // to disable early_stop entirely). A fold that recirculates all edges but
+  // reports progress units must run until the progress dries up, then stop
+  // on its own.
+  Rng gen_rng(80);
+  const EdgeList el = gnp(200, 0.05, gen_rng);
+  MpcEngineConfig config = engine_config(el, 10, true);
+  ASSERT_TRUE(config.early_stop);
+
+  constexpr std::size_t kProductiveRounds = 3;
+  const auto build = [](EdgeSpan piece, const PartitionContext&, Rng&) {
+    return piece.num_edges();  // summary: a count, nothing else
+  };
+  const auto account = [](std::size_t) { return MessageSize{0, 1}; };
+  const auto fold = [&](std::vector<std::size_t>&, MpcRoundContext& ctx,
+                        Rng&) {
+    // Recirculate every edge; "work" happens for the first rounds only.
+    if (ctx.round_index() < kProductiveRounds) ctx.note_progress(1);
+    return ctx.active_edges().to_edge_list();
+  };
+  Rng rng(80);
+  const MpcExecutionStats stats =
+      run_mpc_rounds(el, config, 0, rng, nullptr, build, account, fold);
+  // Rounds 0..2 progress, round 3 stalls -> the executor stops there, not at
+  // round 0 (the old bug would have made this 1) and not at the cap.
+  EXPECT_EQ(stats.engine_rounds, kProductiveRounds + 1);
+  for (std::size_t i = 0; i < kProductiveRounds; ++i) {
+    EXPECT_EQ(stats.per_round[i].augmentations, 1u) << i;
+  }
+  EXPECT_EQ(stats.per_round[kProductiveRounds].augmentations, 0u);
+}
+
+TEST(MpcRoundsEarlyStop, DisabledEarlyStopStillRunsToTheCap) {
+  Rng gen_rng(81);
+  const EdgeList el = gnp(100, 0.05, gen_rng);
+  MpcEngineConfig config = engine_config(el, 5, true);
+  config.early_stop = false;
+  const auto build = [](EdgeSpan piece, const PartitionContext&, Rng&) {
+    return piece.num_edges();
+  };
+  const auto account = [](std::size_t) { return MessageSize{0, 1}; };
+  const auto fold = [&](std::vector<std::size_t>&, MpcRoundContext& ctx,
+                        Rng&) { return ctx.active_edges().to_edge_list(); };
+  Rng rng(81);
+  const MpcExecutionStats stats =
+      run_mpc_rounds(el, config, 0, rng, nullptr, build, account, fold);
+  EXPECT_EQ(stats.engine_rounds, 5u);
+}
+
+TEST(MpcRoundsCertificate, UncertifiedLaterRoundClearsAStaleRatio) {
+  // Regression: certified_ratio was only overwritten when a round certified,
+  // so a certificate from round 0 stayed attached to a solution later rounds
+  // kept changing. An uncertified round must clear it; re-certifying must
+  // re-attach it.
+  Rng gen_rng(82);
+  const EdgeList el = gnp(150, 0.05, gen_rng);
+  MpcEngineConfig config = engine_config(el, 3, true);
+  config.early_stop = false;
+  const auto build = [](EdgeSpan piece, const PartitionContext&, Rng&) {
+    return piece.num_edges();
+  };
+  const auto account = [](std::size_t) { return MessageSize{0, 1}; };
+
+  {
+    // Certify in round 0, keep mutating without certifying afterwards.
+    const auto fold = [&](std::vector<std::size_t>&, MpcRoundContext& ctx,
+                          Rng&) {
+      if (ctx.round_index() == 0) ctx.certify_ratio(1.5);
+      ctx.note_progress(1);  // keep the run alive
+      return ctx.active_edges().to_edge_list();
+    };
+    Rng rng(82);
+    const MpcExecutionStats stats =
+        run_mpc_rounds(el, config, 0, rng, nullptr, build, account, fold);
+    EXPECT_EQ(stats.engine_rounds, 3u);
+    EXPECT_EQ(stats.certified_ratio, 0.0);
+    EXPECT_EQ(stats.per_round.size(), 3u);
+  }
+  {
+    // A certificate in the FINAL round sticks.
+    const auto fold = [&](std::vector<std::size_t>&, MpcRoundContext& ctx,
+                          Rng&) {
+      if (ctx.last_round()) ctx.certify_ratio(1.25);
+      ctx.note_progress(1);
+      return ctx.active_edges().to_edge_list();
+    };
+    Rng rng(82);
+    const MpcExecutionStats stats =
+        run_mpc_rounds(el, config, 0, rng, nullptr, build, account, fold);
+    EXPECT_DOUBLE_EQ(stats.certified_ratio, 1.25);
+  }
+}
+
+TEST(MpcRoundsStreaming, StreamingFoldMatchesBarrierSeedForSeed) {
+  for (std::uint64_t seed : {90u, 91u}) {
+    for (const Instance& inst : grid(seed)) {
+      for (std::size_t threads : {0u, 4u}) {
+        ThreadPool pool(threads == 0 ? 1 : threads);
+        ThreadPool* p = threads == 0 ? nullptr : &pool;
+
+        MpcEngineConfig barrier_cfg = engine_config(inst.edges, 4, true);
+        Rng barrier_rng(seed);
+        const CoresetMpcMatchingResult barrier = coreset_mpc_matching_rounds(
+            inst.edges, barrier_cfg, inst.left_size, barrier_rng, p);
+
+        MpcEngineConfig stream_cfg = barrier_cfg;
+        stream_cfg.streaming_fold = true;  // canonical order by default
+        Rng stream_rng(seed);
+        const CoresetMpcMatchingResult streamed = coreset_mpc_matching_rounds(
+            inst.edges, stream_cfg, inst.left_size, stream_rng, p);
+
+        EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(streamed.matching))
+            << inst.name << " seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(barrier.rounds, streamed.rounds);
+        EXPECT_EQ(barrier.stats.total_comm_words, streamed.stats.total_comm_words);
+        EXPECT_EQ(barrier.max_memory_words, streamed.max_memory_words);
+        EXPECT_EQ(barrier.stats.engine_rounds, streamed.stats.engine_rounds);
+      }
+    }
+  }
+}
+
+TEST(MpcRoundsStreaming, StreamingVertexCoverMatchesBarrierSeedForSeed) {
+  for (std::uint64_t seed : {92u, 93u}) {
+    for (const Instance& inst : grid(seed)) {
+      MpcEngineConfig barrier_cfg = engine_config(inst.edges, 3, true);
+      Rng barrier_rng(seed);
+      const CoresetMpcVcResult barrier = coreset_mpc_vertex_cover_rounds(
+          inst.edges, barrier_cfg, barrier_rng);
+
+      MpcEngineConfig stream_cfg = barrier_cfg;
+      stream_cfg.streaming_fold = true;
+      ThreadPool pool(4);
+      Rng stream_rng(seed);
+      const CoresetMpcVcResult streamed = coreset_mpc_vertex_cover_rounds(
+          inst.edges, stream_cfg, stream_rng, &pool);
+
+      EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices())
+          << inst.name << " seed=" << seed;
+      EXPECT_EQ(barrier.rounds, streamed.rounds);
+      EXPECT_EQ(barrier.max_memory_words, streamed.max_memory_words);
+    }
+  }
+}
+
+TEST(MpcRoundsStreaming, StreamingFilteringMatchesBarrierSeedForSeed) {
+  for (std::uint64_t seed : {94u, 95u}) {
+    Rng gen_rng(seed);
+    const EdgeList el = gnp(400, 0.08, gen_rng);
+    MpcEngineConfig cfg;
+    cfg.mpc.num_machines = 8;
+    cfg.mpc.memory_words = 2 * 3000;
+    cfg.max_rounds = 1000;
+
+    Rng barrier_rng(seed);
+    const FilteringMpcResult barrier = filtering_mpc_rounds(el, cfg, barrier_rng);
+
+    MpcEngineConfig stream_cfg = cfg;
+    stream_cfg.streaming_fold = true;
+    ThreadPool pool(4);
+    Rng stream_rng(seed);
+    const FilteringMpcResult streamed =
+        filtering_mpc_rounds(el, stream_cfg, stream_rng, &pool);
+
+    EXPECT_EQ(sorted_edges(barrier.maximal_matching),
+              sorted_edges(streamed.maximal_matching));
+    EXPECT_EQ(barrier.rounds, streamed.rounds);
+    EXPECT_EQ(barrier.filter_iterations, streamed.filter_iterations);
+    EXPECT_EQ(barrier.max_memory_words, streamed.max_memory_words);
+    EXPECT_TRUE(streamed.completed);
+  }
+}
+
+TEST(MpcRoundsStreaming, ArrivalOrderFilteringStaysMaximal) {
+  // Arrival-order absorbs greedy-extend in completion order: the matching
+  // differs run to run, but maximality and the duality sandwich cannot.
+  Rng gen_rng(96);
+  const EdgeList el = gnp(300, 0.08, gen_rng);
+  MpcEngineConfig cfg;
+  cfg.mpc.num_machines = 8;
+  cfg.mpc.memory_words = 2 * 3000;
+  cfg.max_rounds = 1000;
+  cfg.streaming_fold = true;
+  cfg.streaming.order = StreamingOrder::kArrival;
+  ThreadPool pool(4);
+  Rng rng(96);
+  const FilteringMpcResult r = filtering_mpc_rounds(el, cfg, rng, &pool);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.maximal_matching.valid());
+  EXPECT_TRUE(r.maximal_matching.subset_of(el));
+  EXPECT_TRUE(r.maximal_matching.maximal_in(el));
+  EXPECT_TRUE(r.cover.covers(el));
+}
+
 TEST(MpcRoundsEarlyStop, StopsWhenNoEdgesSurvive) {
   // A single star saturates after one round: the center gets matched, every
   // remaining edge touches it, no survivors remain.

@@ -226,6 +226,84 @@ TEST(ProtocolProperties, FilteringSatisfiesTheDualitySandwich) {
   }
 }
 
+TEST(ProtocolProperties, StreamingCanonicalMatchesBarrierOnTheFullGrid) {
+  // The streaming combine path's determinism contract, pinned on the same
+  // generator x seed grid as every other protocol invariant: in canonical
+  // order, streaming is seed-for-seed identical to the barrier fold — exact
+  // solutions, word-exact communication, and the caller's RNG left at the
+  // same stream position.
+  ThreadPool pool(4);
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      Rng barrier_rng(seed);
+      const MatchingProtocolResult m_barrier = coreset_matching_protocol(
+          inst.edges, kMachines, inst.left_size, barrier_rng, &pool);
+      Rng stream_rng(seed);
+      const MatchingProtocolResult m_streamed =
+          coreset_matching_protocol_streaming(inst.edges, kMachines,
+                                              inst.left_size, stream_rng,
+                                              &pool);
+      EdgeList barrier_edges = m_barrier.matching.to_edge_list();
+      EdgeList streamed_edges = m_streamed.matching.to_edge_list();
+      barrier_edges.sort();
+      streamed_edges.sort();
+      EXPECT_EQ(barrier_edges.edges(), streamed_edges.edges())
+          << "matching on " << inst.name << " seed=" << seed;
+      EXPECT_EQ(m_barrier.comm.total_words(), m_streamed.comm.total_words())
+          << inst.name;
+      EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64()) << inst.name;
+
+      Rng vc_barrier_rng(seed);
+      const VcProtocolResult c_barrier =
+          coreset_vc_protocol(inst.edges, kMachines, vc_barrier_rng, &pool);
+      Rng vc_stream_rng(seed);
+      const VcProtocolResult c_streamed = coreset_vc_protocol_streaming(
+          inst.edges, kMachines, vc_stream_rng, &pool);
+      EXPECT_EQ(c_barrier.cover.vertices(), c_streamed.cover.vertices())
+          << "cover on " << inst.name << " seed=" << seed;
+      EXPECT_EQ(c_barrier.comm.total_words(), c_streamed.comm.total_words());
+      EXPECT_EQ(vc_barrier_rng.next_u64(), vc_stream_rng.next_u64());
+
+      Rng g_barrier_rng(seed);
+      const VcProtocolResult g_barrier = grouped_vc_protocol(
+          inst.edges, kMachines, /*alpha=*/8.0, g_barrier_rng, &pool);
+      Rng g_stream_rng(seed);
+      const VcProtocolResult g_streamed = grouped_vc_protocol_streaming(
+          inst.edges, kMachines, /*alpha=*/8.0, g_stream_rng, &pool);
+      EXPECT_EQ(g_barrier.cover.vertices(), g_streamed.cover.vertices())
+          << "grouped cover on " << inst.name << " seed=" << seed;
+      EXPECT_EQ(g_barrier_rng.next_u64(), g_stream_rng.next_u64());
+    }
+  }
+}
+
+TEST(ProtocolProperties, ArrivalOrderStreamingKeepsEveryInvariant) {
+  // Arrival order forfeits exact reproducibility, never correctness: every
+  // solution must still satisfy validity, feasibility, and the duality
+  // sandwich on every grid point.
+  StreamingOptions arrival;
+  arrival.order = StreamingOrder::kArrival;
+  ThreadPool pool(4);
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      const std::size_t opt =
+          maximum_matching_size(inst.edges, inst.left_size);
+      Rng m_rng(seed);
+      const MatchingProtocolResult m = coreset_matching_protocol_streaming(
+          inst.edges, kMachines, inst.left_size, m_rng, &pool, arrival);
+      expect_valid_matching(m.matching, inst, opt, "streaming-arrival");
+      EXPECT_TRUE(
+          m.matching.maximal_in(EdgeList::union_of(m.summaries)))
+          << inst.name;
+
+      Rng c_rng(seed);
+      const VcProtocolResult c = coreset_vc_protocol_streaming(
+          inst.edges, kMachines, c_rng, &pool, arrival);
+      expect_feasible_cover(c.cover, inst, opt, "streaming-arrival-vc");
+    }
+  }
+}
+
 TEST(ProtocolProperties, TwoApproximationCoverSandwich) {
   for (std::uint64_t seed : kSeeds) {
     for (const Instance& inst : instance_grid(seed)) {

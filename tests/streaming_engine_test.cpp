@@ -1,0 +1,283 @@
+// Streaming combine path of the ProtocolEngine
+// (distributed/protocol_engine.hpp):
+//
+//   * canonical-order streaming must be seed-for-seed IDENTICAL to the
+//     barrier fold — exact solutions, word-exact communication, and the
+//     coordinator RNG stream left in the same state — for every driver
+//     (matching, VC, grouped VC, weighted matching, weighted VC), pool and
+//     sequential, and for every completion-queue capacity,
+//   * arrival-order streaming keeps the protocol invariants (validity /
+//     feasibility) even though the absorb order follows thread completion,
+//   * the overlap telemetry reports what the path exists to create: the
+//     coordinator absorbing summaries while machines are still building.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "distributed/protocol.hpp"
+#include "distributed/protocols.hpp"
+#include "distributed/weighted_matching_protocol.hpp"
+#include "distributed/weighted_vc_protocol.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+#include "util/options.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rcc {
+namespace {
+
+std::vector<Edge> sorted_edges(const Matching& m) {
+  EdgeList el = m.to_edge_list();
+  el.sort();
+  return el.edges();
+}
+
+constexpr std::size_t kMachines = 5;
+
+TEST(StreamingEngine, CanonicalMatchingMatchesBarrierSeedForSeed) {
+  const MaximumMatchingCoreset coreset;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(400, 5.0 / 400, gen);
+    for (const bool pooled : {false, true}) {
+      ThreadPool pool(4);
+      ThreadPool* p = pooled ? &pool : nullptr;
+
+      Rng barrier_rng(seed);
+      const MatchingProtocolResult barrier = run_matching_protocol(
+          el, kMachines, coreset, ComposeSolver::kMaximum, 0, barrier_rng, p);
+      Rng stream_rng(seed);
+      const MatchingProtocolResult streamed = run_matching_protocol_streaming(
+          el, kMachines, coreset, ComposeSolver::kMaximum, 0, stream_rng, p);
+
+      EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(streamed.matching))
+          << "seed=" << seed << " pooled=" << pooled;
+      EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
+      ASSERT_EQ(barrier.summaries.size(), streamed.summaries.size());
+      for (std::size_t i = 0; i < kMachines; ++i) {
+        EXPECT_EQ(barrier.summaries[i].num_edges(),
+                  streamed.summaries[i].num_edges());
+      }
+      // Both paths must leave the caller's RNG at the same stream position:
+      // k forks + the same coordinator draws.
+      EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
+    }
+  }
+}
+
+TEST(StreamingEngine, CanonicalVcMatchesBarrierSeedForSeed) {
+  const PeelingVcCoreset coreset;
+  for (std::uint64_t seed : {4u, 5u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(300, 6.0 / 300, gen);
+    for (const bool pooled : {false, true}) {
+      ThreadPool pool(4);
+      ThreadPool* p = pooled ? &pool : nullptr;
+
+      Rng barrier_rng(seed);
+      const VcProtocolResult barrier =
+          run_vc_protocol(el, kMachines, coreset, barrier_rng, p);
+      Rng stream_rng(seed);
+      const VcProtocolResult streamed =
+          run_vc_protocol_streaming(el, kMachines, coreset, stream_rng, p);
+
+      EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices())
+          << "seed=" << seed << " pooled=" << pooled;
+      EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
+      EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
+    }
+  }
+}
+
+TEST(StreamingEngine, CanonicalGroupedVcMatchesBarrierSeedForSeed) {
+  for (std::uint64_t seed : {6u, 7u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(256, 0.04, gen);
+    ThreadPool pool(3);
+    Rng barrier_rng(seed);
+    const VcProtocolResult barrier =
+        grouped_vc_protocol(el, kMachines, /*alpha=*/8.0, barrier_rng, &pool);
+    Rng stream_rng(seed);
+    const VcProtocolResult streamed = grouped_vc_protocol_streaming(
+        el, kMachines, /*alpha=*/8.0, stream_rng, &pool);
+    EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices());
+    EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
+    EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
+  }
+}
+
+TEST(StreamingEngine, CanonicalWeightedDriversMatchBarrierSeedForSeed) {
+  for (std::uint64_t seed : {8u, 9u}) {
+    Rng gen(seed);
+    WeightedEdgeList w;
+    w.num_vertices = 120;
+    for (int i = 0; i < 900; ++i) {
+      const auto u = static_cast<VertexId>(gen.next_below(119));
+      w.add(u, static_cast<VertexId>(u + 1), gen.uniform_real(0.5, 16.0));
+    }
+    ThreadPool pool(4);
+
+    Rng barrier_rng(seed);
+    const WeightedMatchingProtocolResult barrier =
+        weighted_matching_protocol(w, kMachines, 0, barrier_rng, &pool);
+    Rng stream_rng(seed);
+    const WeightedMatchingProtocolResult streamed =
+        weighted_matching_protocol_streaming(w, kMachines, 0, stream_rng,
+                                             &pool);
+    EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(streamed.matching));
+    EXPECT_DOUBLE_EQ(barrier.matching_weight, streamed.matching_weight);
+    EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
+    EXPECT_EQ(barrier.max_classes_per_machine,
+              streamed.max_classes_per_machine);
+    EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
+
+    const EdgeList el = gnp(200, 0.05, gen);
+    VertexWeights weights(el.num_vertices());
+    for (double& x : weights) x = gen.uniform_real(1.0, 64.0);
+    Rng vc_barrier_rng(seed);
+    const WeightedVcProtocolResult vc_barrier =
+        weighted_vc_protocol(el, weights, kMachines, vc_barrier_rng, &pool);
+    Rng vc_stream_rng(seed);
+    const WeightedVcProtocolResult vc_streamed = weighted_vc_protocol_streaming(
+        el, weights, kMachines, vc_stream_rng, &pool);
+    EXPECT_EQ(vc_barrier.cover.vertices(), vc_streamed.cover.vertices());
+    EXPECT_DOUBLE_EQ(vc_barrier.cover_cost, vc_streamed.cover_cost);
+    EXPECT_EQ(vc_barrier.weight_classes, vc_streamed.weight_classes);
+    EXPECT_EQ(vc_barrier_rng.next_u64(), vc_stream_rng.next_u64());
+  }
+}
+
+TEST(StreamingEngine, BoundedQueueCapacitiesPreserveCanonicalEquality) {
+  // The completion queue's capacity only changes scheduling backpressure,
+  // never the absorb order or the outcome.
+  const MaximumMatchingCoreset coreset;
+  Rng gen(10);
+  const EdgeList el = gnp(500, 0.02, gen);
+  Rng reference_rng(10);
+  const MatchingProtocolResult reference = run_matching_protocol(
+      el, kMachines, coreset, ComposeSolver::kMaximum, 0, reference_rng);
+  for (const std::size_t capacity : {1u, 2u, 4u, 0u /* = k */}) {
+    ThreadPool pool(4);
+    StreamingOptions opts;
+    opts.queue_capacity = capacity;
+    Rng rng(10);
+    const MatchingProtocolResult streamed = run_matching_protocol_streaming(
+        el, kMachines, coreset, ComposeSolver::kMaximum, 0, rng, &pool, opts);
+    EXPECT_EQ(sorted_edges(reference.matching), sorted_edges(streamed.matching))
+        << "capacity=" << capacity;
+    EXPECT_EQ(reference.comm.total_words(), streamed.comm.total_words());
+  }
+}
+
+TEST(StreamingEngine, ArrivalOrderKeepsInvariantsAcrossThreadCounts) {
+  StreamingOptions arrival;
+  arrival.order = StreamingOrder::kArrival;
+  const MaximumMatchingCoreset matching_coreset;
+  const PeelingVcCoreset vc_coreset;
+  for (std::uint64_t seed : {11u, 12u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(300, 5.0 / 300, gen);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      Rng m_rng(seed);
+      const MatchingProtocolResult m = run_matching_protocol_streaming(
+          el, kMachines, matching_coreset, ComposeSolver::kMaximum, 0, m_rng,
+          &pool, arrival);
+      EXPECT_TRUE(m.matching.valid());
+      EXPECT_TRUE(m.matching.subset_of(el));
+      EXPECT_TRUE(
+          m.matching.maximal_in(EdgeList::union_of(m.summaries)))
+          << "threads=" << threads;
+
+      Rng c_rng(seed);
+      const VcProtocolResult c = run_vc_protocol_streaming(
+          el, kMachines, vc_coreset, c_rng, &pool, arrival);
+      EXPECT_TRUE(c.cover.covers(el)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingEngine, SequentialRunReportsFullPipeliningTelemetry) {
+  // Without a pool, build and absorb alternate machine by machine: every
+  // absorb but the last lands before the machine phase finished (the
+  // field's definition — interleaving, which a pool turns into wall-clock
+  // overlap).
+  const MaximumMatchingCoreset coreset;
+  Rng gen(13);
+  const EdgeList el = gnp(200, 0.05, gen);
+  {
+    Rng rng(13);
+    EdgeList union_edges(el.num_vertices());
+    struct Probe {
+      EdgeList& u;
+      void absorb(EdgeList& s, std::size_t) { u.append(s); }
+      Matching finish(std::vector<EdgeList>&, Rng& r) {
+        return greedy_maximal_matching(u, GreedyOrder::kRandom, r);
+      }
+    } probe{union_edges};
+    const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                           Rng& machine_rng) {
+      return coreset.build(piece, ctx, machine_rng);
+    };
+    const auto account = [](const EdgeList& s) {
+      return MessageSize{s.num_edges(), 0};
+    };
+    auto result = run_protocol_streaming<Edge>(
+        std::span<const Edge>(el.edges().data(), el.num_edges()),
+        el.num_vertices(), kMachines, 0, rng, nullptr, build, account, probe);
+    EXPECT_TRUE(result.streaming.streamed);
+    EXPECT_EQ(result.streaming.absorbed_while_machines_ran, kMachines - 1);
+    EXPECT_TRUE(result.solution.valid());
+  }
+}
+
+TEST(StreamingEngine, BarrierWrapperReportsNoStreaming) {
+  const MaximumMatchingCoreset coreset;
+  Rng gen(14);
+  const EdgeList el = gnp(100, 0.05, gen);
+  Rng rng(14);
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx,
+                         Rng& machine_rng) {
+    return coreset.build(piece, ctx, machine_rng);
+  };
+  const auto account = [](const EdgeList& s) {
+    return MessageSize{s.num_edges(), 0};
+  };
+  const auto combine = [&](std::vector<EdgeList>& summaries, Rng& r) {
+    return compose_matching_coresets(summaries, ComposeSolver::kGreedy, 0, r);
+  };
+  auto result = run_protocol<Edge>(
+      std::span<const Edge>(el.edges().data(), el.num_edges()),
+      el.num_vertices(), kMachines, 0, rng, nullptr, build, account, combine);
+  EXPECT_FALSE(result.streaming.streamed);
+  EXPECT_EQ(result.streaming.absorbed_while_machines_ran, 0u);
+}
+
+TEST(StreamingEngine, FlagsRoundTripIntoStreamingOptions) {
+  Options options("streaming_engine_test");
+  add_streaming_flags(options);
+  add_streaming_flags(options);  // idempotent: double registration is a no-op
+  const char* argv[] = {"test", "--engine-streaming=true",
+                        "--engine-streaming-order=arrival",
+                        "--engine-queue-capacity=3"};
+  options.parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(streaming_enabled_from_options(options));
+  const StreamingOptions opts = streaming_options_from_options(options);
+  EXPECT_EQ(opts.order, StreamingOrder::kArrival);
+  EXPECT_EQ(opts.queue_capacity, 3u);
+}
+
+TEST(StreamingEngineDeath, UnknownOrderValueExitsStrictly) {
+  Options options("streaming_engine_test");
+  add_streaming_flags(options);
+  const char* argv[] = {"test", "--engine-streaming-order=sorted"};
+  options.parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT(streaming_options_from_options(options),
+              ::testing::ExitedWithCode(2), "not one of");
+}
+
+}  // namespace
+}  // namespace rcc

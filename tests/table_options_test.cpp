@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -75,6 +77,59 @@ TEST(Options, BoolParsing) {
   EXPECT_TRUE(opts.get_bool("b"));
   EXPECT_TRUE(opts.get_bool("c"));
   EXPECT_FALSE(opts.get_bool("d"));
+}
+
+Options parsed_single_flag(const std::string& value) {
+  Options opts("test");
+  opts.flag("x", value, "probe");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  opts.parse(1, argv);
+  return opts;
+}
+
+TEST(Options, BoundaryNumericValuesParse) {
+  // The extremes of the representable ranges are values, not errors.
+  EXPECT_EQ(parsed_single_flag("9223372036854775807").get_int("x"),
+            INT64_MAX);
+  EXPECT_EQ(parsed_single_flag("-9223372036854775808").get_int("x"),
+            INT64_MIN);
+  EXPECT_DOUBLE_EQ(parsed_single_flag("1e308").get_double("x"), 1e308);
+  EXPECT_DOUBLE_EQ(parsed_single_flag("-1e308").get_double("x"), -1e308);
+  // Gradual underflow to a subnormal is a faithful value (glibc flags it
+  // with ERANGE anyway); only total underflow to zero is an error.
+  EXPECT_DOUBLE_EQ(parsed_single_flag("1e-310").get_double("x"), 1e-310);
+}
+
+TEST(OptionsDeath, IntegerOverflowIsRejectedNotClamped) {
+  // Regression: strtoll clamps out-of-range input to LLONG_MAX/LLONG_MIN and
+  // only reports it via errno == ERANGE; strict parsing must exit(2) instead
+  // of silently running with the saturated value.
+  EXPECT_EXIT(parsed_single_flag("9223372036854775808").get_int("x"),
+              ::testing::ExitedWithCode(2), "overflows the 64-bit integer");
+  EXPECT_EXIT(parsed_single_flag("-99999999999999999999").get_int("x"),
+              ::testing::ExitedWithCode(2), "overflows the 64-bit integer");
+}
+
+TEST(OptionsDeath, DoubleOverflowAndUnderflowAreRejected) {
+  // strtod saturates overflow to +-HUGE_VAL and squashes underflow toward
+  // zero, both with errno == ERANGE; either way the program would not run
+  // with the value the user wrote.
+  EXPECT_EXIT(parsed_single_flag("1e999").get_double("x"),
+              ::testing::ExitedWithCode(2), "outside the representable");
+  EXPECT_EXIT(parsed_single_flag("-1e999").get_double("x"),
+              ::testing::ExitedWithCode(2), "outside the representable");
+  EXPECT_EXIT(parsed_single_flag("1e-999").get_double("x"),
+              ::testing::ExitedWithCode(2), "outside the representable");
+}
+
+TEST(OptionsDeath, MalformedNumbersAreRejected) {
+  EXPECT_EXIT(parsed_single_flag("12abc").get_int("x"),
+              ::testing::ExitedWithCode(2), "not a representable integer");
+  EXPECT_EXIT(parsed_single_flag("").get_int("x"),
+              ::testing::ExitedWithCode(2), "not a representable integer");
+  EXPECT_EXIT(parsed_single_flag("0.5.1").get_double("x"),
+              ::testing::ExitedWithCode(2), "not a representable number");
 }
 
 
