@@ -1,0 +1,299 @@
+// Unified benchmark suite: one binary, one pinned scenario grid, one JSON
+// schema — the perf trajectory every optimization PR diffs against.
+//
+// The grid is instance family (sparse / dense / bipartite / crown-forest)
+// x protocol scenario (partition, single- and multi-round matching, VC,
+// augmenting rounds, filtering) x cluster shape (k machines, round budget).
+// Rows are pinned: adding a scenario appends a row; changing an existing
+// row's parameters is a baseline reset and must re-check-in BENCH_PR5.json
+// (see README "Performance playbook").
+//
+// Output: a table on stdout, and with --json a machine-readable file that
+// tools/compare_bench.py diffs against the checked-in baseline (±10%
+// threshold in CI, non-gating).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "mpc/augmenting_rounds.hpp"
+#include "mpc/coreset_mpc.hpp"
+#include "mpc/filtering_mpc.hpp"
+#include "mpc/mpc_engine.hpp"
+#include "partition/sharded_partition.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rcc::bench {
+namespace {
+
+struct Family {
+  std::string name;
+  VertexId left_size = 0;  // 0 = not bipartite
+  EdgeList edges;
+};
+
+std::vector<Family> make_families(double scale, std::uint64_t seed) {
+  const auto sz = [&](double base) {
+    return static_cast<VertexId>(std::max(8.0, base * scale));
+  };
+  std::vector<Family> families;
+  {
+    Rng rng(seed);
+    families.push_back(
+        {"sparse", 0, gnm(sz(24000), static_cast<std::uint64_t>(sz(96000)), rng)});
+  }
+  {
+    Rng rng(seed + 1);
+    families.push_back(
+        {"dense", 0, gnm(sz(2000), static_cast<std::uint64_t>(sz(200000)), rng)});
+  }
+  {
+    Rng rng(seed + 2);
+    const VertexId side = sz(10000);
+    families.push_back({"bipartite", side,
+                        random_bipartite(side, side, 6.0 / side, rng)});
+  }
+  {
+    families.push_back({"crown_forest", 0, crown_forest(sz(1500), 5)});
+  }
+  return families;
+}
+
+struct Row {
+  std::string scenario;
+  std::string family;
+  std::size_t k = 0;
+  std::size_t rounds = 0;  // round budget handed to the executor
+  VertexId n = 0;
+  std::size_t m = 0;
+  std::size_t engine_rounds = 0;  // rounds actually run
+  std::size_t processed_edges = 0;  // sum of per-round active edge sets
+  std::size_t solution = 0;
+  double seconds_median = 0.0;
+  double seconds_min = 0.0;
+  double edges_per_sec = 0.0;
+};
+
+struct RunOutcome {
+  std::size_t engine_rounds = 1;
+  std::size_t processed_edges = 0;
+  std::size_t solution = 0;
+};
+
+MpcEngineConfig engine_config(const Family& f, std::size_t k,
+                              std::size_t rounds) {
+  MpcEngineConfig config;
+  config.mpc.num_machines = k;
+  // Throughput benchmark, not a memory-model experiment: budget big enough
+  // that the ledger never aborts on any pinned row.
+  config.mpc.memory_words = 16 * static_cast<std::uint64_t>(f.edges.num_edges()) + 4096;
+  config.max_rounds = rounds;
+  return config;
+}
+
+RunOutcome processed_of(const MpcExecutionStats& stats) {
+  RunOutcome out;
+  out.engine_rounds = stats.engine_rounds;
+  for (const auto& r : stats.per_round) out.processed_edges += r.active_edges;
+  return out;
+}
+
+/// One pinned grid row: `run` executes the scenario once and reports what it
+/// processed; the harness repeats it and keeps median/min wall time.
+template <typename RunFn>
+Row measure(const std::string& scenario, const Family& f, std::size_t k,
+            std::size_t rounds, int reps, std::uint64_t seed,
+            const RunFn& run) {
+  Row row;
+  row.scenario = scenario;
+  row.family = f.name;
+  row.k = k;
+  row.rounds = rounds;
+  row.n = f.edges.num_vertices();
+  row.m = f.edges.num_edges();
+  std::vector<double> times;
+  RunOutcome outcome;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(seed + 1000 * static_cast<std::uint64_t>(rep));
+    WallTimer timer;
+    outcome = run(rng);
+    times.push_back(timer.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  row.seconds_min = times.front();
+  row.seconds_median = times[times.size() / 2];
+  row.engine_rounds = outcome.engine_rounds;
+  row.processed_edges = outcome.processed_edges;
+  row.solution = outcome.solution;
+  row.edges_per_sec =
+      row.seconds_median > 0.0
+          ? static_cast<double>(std::max(row.processed_edges, row.m)) /
+                row.seconds_median
+          : 0.0;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                const ExperimentSetup& setup, std::size_t threads) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  RCC_CHECK(out != nullptr);
+  std::fprintf(out, "{\n  \"suite\": \"bench_suite\",\n  \"version\": 1,\n");
+  std::fprintf(out,
+               "  \"seed\": %llu,\n  \"scale\": %.4f,\n  \"reps\": %d,\n"
+               "  \"threads\": %zu,\n  \"rows\": [\n",
+               static_cast<unsigned long long>(setup.seed), setup.scale,
+               setup.reps, threads);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"scenario\": \"%s\", \"family\": \"%s\", \"k\": %zu, "
+        "\"rounds\": %zu, \"n\": %u, \"m\": %zu, \"engine_rounds\": %zu, "
+        "\"processed_edges\": %zu, \"solution\": %zu, "
+        "\"seconds_median\": %.6f, \"seconds_min\": %.6f, "
+        "\"edges_per_sec\": %.1f}%s\n",
+        r.scenario.c_str(), r.family.c_str(), r.k, r.rounds, r.n, r.m,
+        r.engine_rounds, r.processed_edges, r.solution, r.seconds_median,
+        r.seconds_min, r.edges_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+int run_suite(int argc, char** argv) {
+  Options opts(
+      "bench_suite: the pinned scenario grid every perf PR diffs against");
+  opts.flag("seed", "42", "PRNG seed");
+  opts.flag("scale", "1.0", "instance size multiplier");
+  opts.flag("reps", "3", "repetitions per row (median reported)");
+  opts.flag("json", "", "write machine-readable results to this path");
+  opts.flag("scenario", "", "only run rows whose scenario contains this substring");
+  opts.flag("family", "", "only run rows whose family contains this substring");
+  opts.flag("threads", "0", "thread-pool size (0 = hardware concurrency, capped at 8)");
+  opts.parse(argc, argv);
+
+  ExperimentSetup setup;
+  setup.seed = static_cast<std::uint64_t>(opts.get_int("seed"));
+  setup.scale = opts.get_double("scale");
+  setup.reps = static_cast<int>(opts.get_int("reps"));
+  const std::string json_path = opts.get_string("json");
+  const std::string scenario_filter = opts.get_string("scenario");
+  const std::string family_filter = opts.get_string("family");
+  std::size_t threads = static_cast<std::size_t>(opts.get_int("threads"));
+  if (threads == 0) {
+    threads = std::min<std::size_t>(8, std::thread::hardware_concurrency());
+    threads = std::max<std::size_t>(1, threads);
+  }
+  ThreadPool pool(threads);
+
+  std::printf("=== bench_suite ===\n(seed=%llu scale=%.2f reps=%d threads=%zu)\n\n",
+              static_cast<unsigned long long>(setup.seed), setup.scale,
+              setup.reps, threads);
+
+  const std::vector<Family> families = make_families(setup.scale, setup.seed);
+  std::vector<Row> rows;
+
+  const auto wanted = [&](const std::string& scenario, const Family& f) {
+    return (scenario_filter.empty() ||
+            scenario.find(scenario_filter) != std::string::npos) &&
+           (family_filter.empty() ||
+            f.name.find(family_filter) != std::string::npos);
+  };
+
+  for (const Family& f : families) {
+    // Partitioner throughput: the shared front half of every protocol round.
+    if (wanted("partition", f)) {
+      rows.push_back(measure("partition", f, 8, 1, setup.reps, setup.seed,
+                             [&](Rng& rng) {
+                               const ShardedPartition<Edge> parts(
+                                   std::span<const Edge>(f.edges.edges().data(),
+                                                         f.edges.num_edges()),
+                                   f.edges.num_vertices(), 8, rng, &pool);
+                               RunOutcome out;
+                               out.processed_edges = parts.num_edges();
+                               out.solution = parts.num_machines();
+                               return out;
+                             }));
+    }
+
+    // Multi-round maximum-matching coreset rounds (the Theorem 1 protocol
+    // iterated): THE headline perf scenario at k=8, 5 rounds.
+    for (const auto [k, rounds] :
+         {std::pair<std::size_t, std::size_t>{8, 1}, {8, 5}, {4, 5}}) {
+      if (!wanted("multiround_matching", f)) continue;
+      rows.push_back(measure(
+          "multiround_matching", f, k, rounds, setup.reps, setup.seed,
+          [&, k = k, rounds = rounds](Rng& rng) {
+            const auto result = coreset_mpc_matching_rounds(
+                f.edges, engine_config(f, k, rounds), f.left_size, rng, &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.matching.size();
+            return out;
+          }));
+    }
+
+    if (wanted("multiround_vc", f)) {
+      rows.push_back(measure(
+          "multiround_vc", f, 8, 5, setup.reps, setup.seed, [&](Rng& rng) {
+            const auto result = coreset_mpc_vertex_cover_rounds(
+                f.edges, engine_config(f, 8, 5), rng, &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.cover.size();
+            return out;
+          }));
+    }
+
+    if (wanted("augmenting", f)) {
+      rows.push_back(measure(
+          "augmenting", f, 8, 5, setup.reps, setup.seed, [&](Rng& rng) {
+            AugmentingRoundsConfig aug;
+            aug.max_path_length = 5;
+            const auto result = run_matching_rounds_augmenting(
+                f.edges, engine_config(f, 8, 5), aug, f.left_size, rng, &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.matching.size();
+            return out;
+          }));
+    }
+
+    if (wanted("filtering", f)) {
+      rows.push_back(measure(
+          "filtering", f, 8, 12, setup.reps, setup.seed, [&](Rng& rng) {
+            MpcEngineConfig config = engine_config(f, 8, 12);
+            // Filtering's sample rate derives from the budget; a budget that
+            // swallows the graph whole would finish in one trivial round.
+            config.mpc.memory_words = std::max<std::uint64_t>(
+                512, static_cast<std::uint64_t>(f.edges.num_edges()) / 2);
+            const auto result =
+                filtering_mpc_rounds(f.edges, config, rng, &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.maximal_matching.size();
+            return out;
+          }));
+    }
+  }
+
+  std::printf(
+      "%-22s %-13s %2s %6s %9s %10s %11s %9s %12s\n", "scenario", "family",
+      "k", "rounds", "m", "ran", "median_s", "min_s", "edges/s");
+  for (const Row& r : rows) {
+    std::printf("%-22s %-13s %2zu %6zu %9zu %10zu %11.4f %9.4f %12.0f\n",
+                r.scenario.c_str(), r.family.c_str(), r.k, r.rounds, r.m,
+                r.engine_rounds, r.seconds_median, r.seconds_min,
+                r.edges_per_sec);
+  }
+
+  if (!json_path.empty()) write_json(json_path, rows, setup, threads);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rcc::bench
+
+int main(int argc, char** argv) { return rcc::bench::run_suite(argc, argv); }

@@ -1,24 +1,38 @@
 #include "coreset/kernel.hpp"
 
+#include "util/workspace.hpp"
+
 namespace rcc {
 
-EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap) {
-  std::vector<VertexId> kept(edges.num_vertices(), 0);
-  EdgeList out(edges.num_vertices());
+void vertex_cap_kernel_into(EdgeList& out, EdgeSpan edges, VertexId cap,
+                            MachineScratch* scratch) {
+  out.reset(edges.num_vertices());
+  MachineScratch local;
+  MachineScratch& s = scratch != nullptr ? *scratch : local;
+  // Epoch-stamped counters: clearing is an epoch bump, not an O(n) zeroing.
+  EpochMap<VertexId>& kept = s.vertex_counts(edges.num_vertices());
   for (const Edge& e : edges) {
-    if (kept[e.u] < cap && kept[e.v] < cap) {
+    VertexId& ku = kept.ref(e.u);
+    VertexId& kv = kept.ref(e.v);
+    if (ku < cap && kv < cap) {
       out.add(e);
-      ++kept[e.u];
-      ++kept[e.v];
+      ++ku;
+      ++kv;
     }
   }
+}
+
+EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap,
+                           MachineScratch* scratch) {
+  EdgeList out;
+  vertex_cap_kernel_into(out, edges, cap, scratch);
   return out;
 }
 
 EdgeList KernelMatchingCoreset::build(EdgeSpan piece,
-                                      const PartitionContext& /*ctx*/,
+                                      const PartitionContext& ctx,
                                       Rng& /*rng*/) const {
-  return vertex_cap_kernel(piece, cap_);
+  return vertex_cap_kernel(piece, cap_, ctx.scratch);
 }
 
 std::string KernelMatchingCoreset::name() const {

@@ -19,10 +19,18 @@
 
 namespace rcc {
 
+class MachineScratch;
+
 /// Keeps at most `cap` incident edges per vertex (first-seen order).
 /// Preserves MM exactly when MM(G) <= cap; see kernel tests for the
-/// property sweep.
-EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap);
+/// property sweep. `scratch` (optional) supplies epoch-stamped degree
+/// counters so repeated calls skip the O(n) counter allocation + zeroing.
+EdgeList vertex_cap_kernel(EdgeSpan edges, VertexId cap,
+                           MachineScratch* scratch = nullptr);
+
+/// As above into a caller-reused output list (cleared first).
+void vertex_cap_kernel_into(EdgeList& out, EdgeSpan edges, VertexId cap,
+                            MachineScratch* scratch = nullptr);
 
 /// Matching coreset that sends the degree-capped kernel of the piece.
 class KernelMatchingCoreset final : public MatchingCoreset {

@@ -7,21 +7,23 @@ namespace rcc {
 EdgeList MaximumMatchingCoreset::build(EdgeSpan piece,
                                        const PartitionContext& ctx,
                                        Rng& /*rng*/) const {
-  return maximum_matching(piece, ctx.left_size).to_edge_list();
+  return maximum_matching(piece, ctx.left_size, ctx.scratch).to_edge_list();
 }
 
 EdgeList MaximalMatchingCoreset::build(EdgeSpan piece,
-                                       const PartitionContext& /*ctx*/,
+                                       const PartitionContext& ctx,
                                        Rng& rng) const {
-  const Matching m = key_ ? greedy_maximal_matching_by(piece, key_)
-                          : greedy_maximal_matching(piece, order_, rng);
+  const Matching m =
+      key_ ? greedy_maximal_matching_by(piece, key_, ctx.scratch)
+           : greedy_maximal_matching(piece, order_, rng, ctx.scratch);
   return m.to_edge_list();
 }
 
 EdgeList SubsampledMatchingCoreset::build(EdgeSpan piece,
                                           const PartitionContext& ctx,
                                           Rng& rng) const {
-  const EdgeList mm = maximum_matching(piece, ctx.left_size).to_edge_list();
+  const EdgeList mm =
+      maximum_matching(piece, ctx.left_size, ctx.scratch).to_edge_list();
   return mm.subsample(1.0 / alpha_, rng);
 }
 

@@ -2,7 +2,21 @@
 
 #include <cmath>
 
+#include "util/workspace.hpp"
+
 namespace rcc {
+
+namespace {
+
+/// Reusable buffers of the per-machine peeling build (stashed in the
+/// machine's workspace slot; contents are garbage between calls).
+struct PeelScratch {
+  std::vector<VertexId> deg;
+  EdgeList current;
+  EdgeList next;
+};
+
+}  // namespace
 
 int PeelingVcCoreset::num_levels(VertexId n, std::size_t k) {
   const double nn = std::max<double>(n, 2);
@@ -27,25 +41,39 @@ VcCoresetOutput PeelingVcCoreset::build(EdgeSpan piece,
     out.residual_edges = piece.to_edge_list();
     return out;
   }
-  std::vector<bool> removed(piece.num_vertices(), false);
+  MachineScratch local;
+  MachineScratch& scratch = ctx.scratch != nullptr ? *ctx.scratch : local;
+  PeelScratch& s = scratch.state<PeelScratch>();
+  EpochMarks& removed = scratch.vertex_marks(piece.num_vertices());
   // Level 1 reads the span in place; only the (shrinking) survivor set is
-  // ever materialized, so the machine never copies its input piece.
-  EdgeList current(piece.num_vertices());
+  // ever materialized, so the machine never copies its input piece. The
+  // degree buffer and the survivor lists double-buffer through the
+  // machine's workspace across levels (and across rounds).
+  s.current.reset(piece.num_vertices());
+  s.next.reset(piece.num_vertices());
   for (int j = 1; j <= delta - 1; ++j) {
     const double thr = n / (k * std::exp2(j + 1));
-    const auto deg = j == 1 ? piece.degrees() : current.degrees();
+    if (j == 1) {
+      piece.degrees_into(s.deg);
+    } else {
+      EdgeSpan(s.current).degrees_into(s.deg);
+    }
     for (VertexId v = 0; v < piece.num_vertices(); ++v) {
-      if (!removed[v] && static_cast<double>(deg[v]) >= thr) {
-        removed[v] = true;
+      if (!removed.test(v) && static_cast<double>(s.deg[v]) >= thr) {
+        removed.set(v);
         out.fixed_vertices.push_back(v);
       }
     }
     const auto survives = [&](const Edge& e) {
-      return !removed[e.u] && !removed[e.v];
+      return !removed.test(e.u) && !removed.test(e.v);
     };
-    current = j == 1 ? piece.filter(survives) : current.filter(survives);
+    s.next.assign_filtered(j == 1 ? EdgeSpan(piece) : EdgeSpan(s.current),
+                           survives);
+    std::swap(s.current, s.next);
   }
-  out.residual_edges = std::move(current);
+  // The summary owns its edges (the engine retains it past this call), so
+  // the final survivor set is copied out rather than moved from the scratch.
+  out.residual_edges.assign(s.current);
   return out;
 }
 

@@ -1,8 +1,10 @@
 #include "coreset/weighted_coreset.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <vector>
 
 #include "matching/max_matching.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -12,22 +14,43 @@ WeightedCoresetOutput crouch_stubbs_coreset(WeightedEdgeSpan piece,
   WeightedCoresetOutput out;
   out.edges.num_vertices = piece.num_vertices();
 
-  // Weight lookup so matched class edges can be re-emitted with weights.
-  std::unordered_map<Edge, double, EdgeHash> weight_of;
-  weight_of.reserve(piece.num_edges() * 2);
-  for (const WeightedEdge& we : piece) {
-    auto [it, inserted] = weight_of.try_emplace(we.edge(), we.weight);
-    if (!inserted && we.weight > it->second) it->second = we.weight;
+  // Weight lookup so matched class edges can be re-emitted with weights —
+  // flat sorted array instead of a hash map: sort (edge, weight) pairs by
+  // edge ascending / weight DESCENDING, so the first entry of an edge's run
+  // is its maximum weight and lookup is one lower_bound. Bit-identical to
+  // the former unordered_map max-merge.
+  std::vector<WeightedEdge> weight_of(piece.begin(), piece.end());
+  for (WeightedEdge& we : weight_of) {
+    const Edge normalized = we.edge();
+    we.u = normalized.u;
+    we.v = normalized.v;
   }
+  std::sort(weight_of.begin(), weight_of.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.weight > b.weight;
+            });
+  const auto max_weight = [&](const Edge& e) {
+    const auto it = std::lower_bound(
+        weight_of.begin(), weight_of.end(), e,
+        [](const WeightedEdge& we, const Edge& key) {
+          if (we.u != key.u) return we.u < key.u;
+          return we.v < key.v;
+        });
+    RCC_CHECK(it != weight_of.end() && it->u == e.u && it->v == e.v);
+    return it->weight;
+  };
 
   const WeightClasses wc = split_weight_classes(piece, class_base);
   for (const EdgeList& cls : wc.classes) {
     if (cls.empty()) continue;
     EdgeList dedup_cls = cls;
     dedup_cls.dedup();
-    const Matching m = maximum_matching(dedup_cls, ctx.left_size);
+    const Matching m =
+        maximum_matching(dedup_cls, ctx.left_size, ctx.scratch);
     for (const Edge& e : m.to_edge_list()) {
-      out.edges.add(e.u, e.v, weight_of.at(e));
+      out.edges.add(e.u, e.v, max_weight(e));
     }
   }
   return out;

@@ -54,6 +54,7 @@
 #include "partition/sharded_partition.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -142,7 +143,8 @@ auto run_protocol_streaming_on_pieces(
     const std::vector<std::span<const EdgeT>>& pieces, VertexId num_vertices,
     VertexId left_size, Rng& rng, ThreadPool* pool, const Build& build,
     const Account& account, StreamFold&& fold,
-    const StreamingOptions& opts = {}) {
+    const StreamingOptions& opts = {},
+    ProtocolWorkspace* workspace = nullptr) {
   using View = typename EdgeViewOf<EdgeT>::type;
   using Summary = std::decay_t<std::invoke_result_t<
       const Build&, View, const PartitionContext&, Rng&>>;
@@ -164,8 +166,14 @@ auto run_protocol_streaming_on_pieces(
   machine_rngs.reserve(k);
   for (std::size_t i = 0; i < k; ++i) machine_rngs.push_back(rng.fork());
   result.summaries.resize(k);
+  // Round-persistent scratch: machine i always receives workspace scratch i
+  // (pre-grown here — the set must not grow concurrently), so repeated
+  // rounds reuse one warmed working set per machine slot.
+  if (workspace != nullptr) workspace->ensure_machines(k);
   const auto machine_work = [&](std::size_t i) {
-    const PartitionContext ctx{num_vertices, k, i, left_size};
+    const PartitionContext ctx{
+        num_vertices, k, i, left_size,
+        workspace != nullptr ? &workspace->machine(i) : nullptr};
     const View piece(pieces[i].data(), pieces[i].size(), num_vertices);
     result.summaries[i] = build(piece, ctx, machine_rngs[i]);
   };
@@ -269,10 +277,12 @@ template <typename EdgeT, typename Build, typename Account, typename Combine>
 auto run_protocol_on_pieces(const std::vector<std::span<const EdgeT>>& pieces,
                             VertexId num_vertices, VertexId left_size, Rng& rng,
                             ThreadPool* pool, const Build& build,
-                            const Account& account, const Combine& combine) {
+                            const Account& account, const Combine& combine,
+                            ProtocolWorkspace* workspace = nullptr) {
   engine_detail::BarrierFold<Combine> fold{combine};
   auto result = run_protocol_streaming_on_pieces<EdgeT>(
-      pieces, num_vertices, left_size, rng, pool, build, account, fold);
+      pieces, num_vertices, left_size, rng, pool, build, account, fold,
+      StreamingOptions{}, workspace);
   // The fold saw nothing before the barrier; report barrier semantics.
   result.streaming = StreamingTelemetry{};
   return result;

@@ -16,6 +16,8 @@
 
 namespace rcc {
 
+class EdgeSpan;
+
 class EdgeList {
  public:
   EdgeList() = default;
@@ -37,6 +39,29 @@ class EdgeList {
   auto end() const { return edges_.end(); }
 
   void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Drops all edges but keeps the vertex universe AND the edge capacity —
+  /// the reuse primitive of the round-persistent workspaces: a fold that
+  /// clears and refills one list every round stops allocating once the list
+  /// reaches its high-water mark.
+  void clear() { edges_.clear(); }
+
+  /// clear() plus a (possibly new) vertex universe; capacity is kept.
+  void reset(VertexId num_vertices) {
+    num_vertices_ = num_vertices;
+    edges_.clear();
+  }
+
+  /// Replaces the contents with a copy of `src` (universe included),
+  /// reusing this list's capacity. The allocation-free alternative to
+  /// `list = span.to_edge_list()`.
+  void assign(EdgeSpan src);
+
+  /// Replaces the contents with the edges of `src` for which pred(e) holds,
+  /// reusing this list's capacity (the in-place alternative to
+  /// EdgeSpan::filter). `src` must not alias this list's storage.
+  template <typename Pred>
+  void assign_filtered(EdgeSpan src, Pred pred);
 
   /// Adds an edge (normalized). Self-loops are rejected: the matching and
   /// vertex-cover problems are defined on simple graphs (parallel edges are
@@ -108,12 +133,19 @@ class EdgeSpan {
 
   /// Degree of every vertex (parallel edges counted with multiplicity).
   std::vector<VertexId> degrees() const {
-    std::vector<VertexId> deg(num_vertices_, 0);
-    for (std::size_t i = 0; i < size_; ++i) {
-      ++deg[data_[i].u];
-      ++deg[data_[i].v];
-    }
+    std::vector<VertexId> deg;
+    degrees_into(deg);
     return deg;
+  }
+
+  /// degrees() into a caller-owned buffer (reused capacity, no allocation
+  /// once `out` has reached the universe size).
+  void degrees_into(std::vector<VertexId>& out) const {
+    out.assign(num_vertices_, 0);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ++out[data_[i].u];
+      ++out[data_[i].v];
+    }
   }
 
   /// Materializes an owning copy (the only copying operation on a span).
@@ -140,6 +172,22 @@ class EdgeSpan {
 template <typename Pred>
 EdgeList EdgeList::filter(Pred pred) const {
   return EdgeSpan(*this).filter(pred);
+}
+
+inline void EdgeList::assign(EdgeSpan src) {
+  num_vertices_ = src.num_vertices();
+  edges_.assign(src.begin(), src.end());
+}
+
+template <typename Pred>
+void EdgeList::assign_filtered(EdgeSpan src, Pred pred) {
+  RCC_DCHECK(edges_.empty() || src.begin() < edges_.data() ||
+             src.begin() >= edges_.data() + edges_.size());
+  num_vertices_ = src.num_vertices();
+  edges_.clear();
+  for (const Edge& e : src) {
+    if (pred(e)) edges_.push_back(e);
+  }
 }
 
 }  // namespace rcc

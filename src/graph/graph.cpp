@@ -4,10 +4,15 @@
 
 namespace rcc {
 
-Graph::Graph(EdgeSpan edges, std::optional<Bipartition> bipartition)
-    : num_vertices_(edges.num_vertices()),
-      edge_count_(edges.num_edges()),
-      bipartition_(bipartition) {
+Graph::Graph(EdgeSpan edges, std::optional<Bipartition> bipartition) {
+  assign(edges, bipartition);
+}
+
+void Graph::assign(EdgeSpan edges, std::optional<Bipartition> bipartition,
+                   std::vector<std::size_t>* cursor_scratch) {
+  num_vertices_ = edges.num_vertices();
+  edge_count_ = edges.num_edges();
+  bipartition_ = bipartition;
   offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
   for (const Edge& e : edges) {
     ++offsets_[e.u + 1];
@@ -15,7 +20,10 @@ Graph::Graph(EdgeSpan edges, std::optional<Bipartition> bipartition)
   }
   for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
   adjacency_.resize(edge_count_ * 2);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<std::size_t> local_cursor;
+  std::vector<std::size_t>& cursor =
+      cursor_scratch != nullptr ? *cursor_scratch : local_cursor;
+  cursor.assign(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : edges) {
     adjacency_[cursor[e.u]++] = e.v;
     adjacency_[cursor[e.v]++] = e.u;

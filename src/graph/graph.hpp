@@ -31,6 +31,14 @@ class Graph {
   explicit Graph(EdgeSpan edges,
                  std::optional<Bipartition> bipartition = std::nullopt);
 
+  /// Rebuilds this graph's CSR from a new edge view, reusing the offset and
+  /// adjacency storage (no allocation once capacities are warm). Equivalent
+  /// to `*this = Graph(edges, bipartition)` minus the heap traffic — the
+  /// reuse path of the round-persistent workspaces.
+  void assign(EdgeSpan edges,
+              std::optional<Bipartition> bipartition = std::nullopt,
+              std::vector<std::size_t>* cursor_scratch = nullptr);
+
   VertexId num_vertices() const { return num_vertices_; }
   std::size_t num_edges() const { return edge_count_; }
 

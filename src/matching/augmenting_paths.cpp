@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <span>
-#include <unordered_set>
 
 #include "graph/edge.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -12,29 +12,35 @@ namespace {
 
 /// Sorted CSR adjacency over the searched edge set (parallel edges collapse
 /// naturally: the DFS only asks "is w reachable from u", so duplicates just
-/// repeat a neighbor and are skipped by the on-path checks).
+/// repeat a neighbor and are skipped by the on-path checks). The three
+/// arrays live in the caller's scratch so repeated searches (one per machine
+/// per MPC round) reuse their capacity.
 struct Adjacency {
-  std::vector<std::size_t> offsets;
-  std::vector<VertexId> neighbors;
+  std::span<std::size_t> offsets;  // n + 1
+  std::span<VertexId> neighbors;   // 2m
 
-  explicit Adjacency(EdgeSpan edges) {
+  Adjacency(EdgeSpan edges, MachineScratch& scratch) {
     const VertexId n = edges.num_vertices();
-    offsets.assign(n + 1, 0);
+    std::vector<std::size_t>& off = scratch.offsets(n + 1);
+    std::fill(off.begin(), off.end(), std::size_t{0});
     for (const Edge& e : edges) {
-      ++offsets[e.u + 1];
-      ++offsets[e.v + 1];
+      ++off[e.u + 1];
+      ++off[e.v + 1];
     }
-    for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
-    neighbors.resize(offsets[n]);
-    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (VertexId v = 0; v < n; ++v) off[v + 1] += off[v];
+    std::vector<VertexId>& nbr = scratch.neighbors(off[n]);
+    std::vector<std::size_t>& cursor = scratch.cursor(n);
+    std::copy(off.begin(), off.end() - 1, cursor.begin());
     for (const Edge& e : edges) {
-      neighbors[cursor[e.u]++] = e.v;
-      neighbors[cursor[e.v]++] = e.u;
+      nbr[cursor[e.u]++] = e.v;
+      nbr[cursor[e.v]++] = e.u;
     }
     for (VertexId v = 0; v < n; ++v) {
-      std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
-                neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+      std::sort(nbr.begin() + static_cast<std::ptrdiff_t>(off[v]),
+                nbr.begin() + static_cast<std::ptrdiff_t>(off[v + 1]));
     }
+    offsets = std::span<std::size_t>(off.data(), n + 1);
+    neighbors = std::span<VertexId>(nbr.data(), off[n]);
   }
 
   std::span<const VertexId> of(VertexId v) const {
@@ -46,11 +52,13 @@ struct Adjacency {
 /// doubles as the on-path marker during the recursion and as the permanent
 /// committed-path marker between searches; the recursion unwinds its own
 /// marks, so no global visited state survives a failed branch (that is what
-/// keeps the emptiness test exact in non-bipartite graphs).
+/// keeps the emptiness test exact in non-bipartite graphs). The marks are
+/// epoch-stamped (EpochMarks): "all clear" is an O(1) epoch bump instead of
+/// an O(n) allocation + zeroing per search call.
 class PathSearch {
  public:
   PathSearch(const Adjacency& adj, const Matching& matching,
-             std::size_t max_length, std::vector<char>& blocked)
+             std::size_t max_length, EpochMarks& blocked)
       : adj_(adj),
         matching_(matching),
         free_budget_((max_length + 1) / 2),
@@ -62,9 +70,9 @@ class PathSearch {
   bool from(VertexId start, std::vector<VertexId>& path) {
     path.clear();
     path.push_back(start);
-    blocked_[start] = 1;
+    blocked_.set(start);
     if (extend(start, free_budget_, path)) return true;
-    blocked_[start] = 0;
+    blocked_.unset(start);
     return false;
   }
 
@@ -75,22 +83,22 @@ class PathSearch {
     const VertexId mate_u = matching_.is_matched(u) ? matching_.mate(u)
                                                     : kInvalidVertex;
     for (VertexId w : adj_.of(u)) {
-      if (w == mate_u || blocked_[w]) continue;  // non-matching simple hop
-      if (!matching_.is_matched(w)) {            // free endpoint: done
+      if (w == mate_u || blocked_.test(w)) continue;  // non-matching simple hop
+      if (!matching_.is_matched(w)) {                 // free endpoint: done
         path.push_back(w);
-        blocked_[w] = 1;
+        blocked_.set(w);
         return true;
       }
       if (budget < 2) continue;  // the forced matched hop needs one more
       const VertexId x = matching_.mate(w);
-      if (blocked_[x]) continue;
+      if (blocked_.test(x)) continue;
       path.push_back(w);
       path.push_back(x);
-      blocked_[w] = 1;
-      blocked_[x] = 1;
+      blocked_.set(w);
+      blocked_.set(x);
       if (extend(x, budget - 1, path)) return true;
-      blocked_[w] = 0;
-      blocked_[x] = 0;
+      blocked_.unset(w);
+      blocked_.unset(x);
       path.pop_back();
       path.pop_back();
     }
@@ -100,23 +108,26 @@ class PathSearch {
   const Adjacency& adj_;
   const Matching& matching_;
   std::size_t free_budget_;
-  std::vector<char>& blocked_;
+  EpochMarks& blocked_;
 };
 
 std::vector<AugmentingPath> search(EdgeSpan edges, const Matching& matching,
-                                   std::size_t max_length, bool first_only) {
+                                   std::size_t max_length, bool first_only,
+                                   MachineScratch* scratch) {
   std::vector<AugmentingPath> found;
   if (edges.empty() || max_length == 0) return found;
   const VertexId n = edges.num_vertices();
   RCC_CHECK(matching.num_vertices() == n);
 
-  const Adjacency adj(edges);
-  std::vector<char> blocked(n, 0);
+  MachineScratch local;
+  MachineScratch& s = scratch != nullptr ? *scratch : local;
+  const Adjacency adj(edges, s);
+  EpochMarks& blocked = s.vertex_marks(n);
   PathSearch dfs(adj, matching, max_length, blocked);
   std::vector<VertexId> path;
-  for (VertexId s = 0; s < n; ++s) {
-    if (matching.is_matched(s) || blocked[s]) continue;
-    if (!dfs.from(s, path)) continue;
+  for (VertexId s_vertex = 0; s_vertex < n; ++s_vertex) {
+    if (matching.is_matched(s_vertex) || blocked.test(s_vertex)) continue;
+    if (!dfs.from(s_vertex, path)) continue;
     AugmentingPath p{path};
     p.canonicalize();
     found.push_back(std::move(p));
@@ -139,13 +150,15 @@ bool canonical_less(const AugmentingPath& a, const AugmentingPath& b) {
 
 std::vector<AugmentingPath> find_augmenting_paths(EdgeSpan edges,
                                                   const Matching& matching,
-                                                  std::size_t max_length) {
-  return search(edges, matching, max_length, /*first_only=*/false);
+                                                  std::size_t max_length,
+                                                  MachineScratch* scratch) {
+  return search(edges, matching, max_length, /*first_only=*/false, scratch);
 }
 
 bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
-                         std::size_t max_length) {
-  return !search(edges, matching, max_length, /*first_only=*/true).empty();
+                         std::size_t max_length, MachineScratch* scratch) {
+  return !search(edges, matching, max_length, /*first_only=*/true, scratch)
+              .empty();
 }
 
 bool is_valid_augmenting_path(const AugmentingPath& path,
@@ -153,9 +166,13 @@ bool is_valid_augmenting_path(const AugmentingPath& path,
   const std::size_t len = path.vertices.size();
   if (len < 2 || len % 2 != 0) return false;  // odd edge count = even vertices
   const VertexId n = matching.num_vertices();
-  std::unordered_set<VertexId> seen;
-  for (VertexId v : path.vertices) {
-    if (v >= n || !seen.insert(v).second) return false;  // out of range / repeat
+  // Flat simplicity check: sort a copy and look for adjacent repeats (the
+  // former unordered_set insert loop, minus the hashing).
+  std::vector<VertexId> sorted(path.vertices);
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.back() >= n) return false;  // ids in range (sorted: max is last)
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return false;  // repeated vertex
   }
   if (matching.is_matched(path.vertices.front()) ||
       matching.is_matched(path.vertices.back())) {
@@ -176,13 +193,23 @@ bool is_valid_augmenting_path(const AugmentingPath& path,
 bool is_valid_augmenting_path(const AugmentingPath& path,
                               const Matching& matching, EdgeSpan edges) {
   if (!is_valid_augmenting_path(path, matching)) return false;
-  std::unordered_set<Edge, EdgeHash> present;
-  present.reserve(edges.num_edges());
-  for (const Edge& e : edges) present.insert(e);
+  // Flat membership check: collect the path's non-matching hops (few) into a
+  // sorted array and scan the edge set once, instead of hashing all m edges.
+  std::vector<Edge> hops;
+  hops.reserve(path.vertices.size() / 2);
   for (std::size_t i = 0; i + 1 < path.vertices.size(); i += 2) {
-    if (!present.count(make_edge(path.vertices[i], path.vertices[i + 1]))) {
-      return false;  // a non-matching hop must exist in the searched edges
+    hops.push_back(make_edge(path.vertices[i], path.vertices[i + 1]));
+  }
+  std::sort(hops.begin(), hops.end());
+  std::vector<char> hop_found(hops.size(), 0);
+  for (const Edge& e : edges) {
+    const auto [lo, hi] = std::equal_range(hops.begin(), hops.end(), e);
+    for (auto it = lo; it != hi; ++it) {
+      hop_found[static_cast<std::size_t>(it - hops.begin())] = 1;
     }
+  }
+  for (char f : hop_found) {
+    if (!f) return false;  // a non-matching hop must exist in the edges
   }
   return true;
 }
@@ -199,11 +226,13 @@ void apply_augmenting_path(Matching& matching, const AugmentingPath& path) {
 }
 
 std::size_t augment_matching(Matching& matching, EdgeSpan edges,
-                             std::size_t max_length) {
+                             std::size_t max_length, MachineScratch* scratch) {
   std::size_t augmentations = 0;
+  MachineScratch local;  // reused across the batch iterations
+  MachineScratch* s = scratch != nullptr ? scratch : &local;
   for (;;) {
     const std::vector<AugmentingPath> batch =
-        find_augmenting_paths(edges, matching, max_length);
+        find_augmenting_paths(edges, matching, max_length, s);
     if (batch.empty()) return augmentations;
     for (const AugmentingPath& p : batch) {
       apply_augmenting_path(matching, p);

@@ -38,6 +38,8 @@
 
 namespace rcc {
 
+class MachineScratch;
+
 /// One augmenting path, stored as its vertex sequence v0..vL (L odd edges,
 /// alternation starting and ending with a non-matching edge). Only the
 /// non-matching edges need to exist in the searched edge set — the matching
@@ -67,14 +69,18 @@ bool canonical_less(const AugmentingPath& a, const AugmentingPath& b);
 /// DFS) over the non-matching edges in `edges`. Exact as an emptiness test:
 /// returns empty iff NO such path exists. The paths are canonicalized and
 /// mutually vertex-disjoint, so they can all be applied in any order.
-std::vector<AugmentingPath> find_augmenting_paths(EdgeSpan edges,
-                                                  const Matching& matching,
-                                                  std::size_t max_length);
+/// `scratch` (optional) supplies the adjacency/mark buffers from a
+/// round-persistent workspace, making repeated searches allocation-free in
+/// steady state; results are identical with or without it.
+std::vector<AugmentingPath> find_augmenting_paths(
+    EdgeSpan edges, const Matching& matching, std::size_t max_length,
+    MachineScratch* scratch = nullptr);
 
 /// True iff some augmenting path of length <= max_length exists (same search,
 /// stopping at the first hit).
 bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
-                         std::size_t max_length);
+                         std::size_t max_length,
+                         MachineScratch* scratch = nullptr);
 
 /// Structural validity: odd length, simple, endpoints free, interior edges
 /// alternate against `matching`. Does NOT check edge membership — pass
@@ -95,6 +101,7 @@ void apply_augmenting_path(Matching& matching, const AugmentingPath& path);
 /// (exhaustive search; intended for tests and small instances — the
 /// polynomial solvers in hopcroft_karp/blossom are the production route).
 std::size_t augment_matching(Matching& matching, EdgeSpan edges,
-                             std::size_t max_length);
+                             std::size_t max_length,
+                             MachineScratch* scratch = nullptr);
 
 }  // namespace rcc

@@ -1,36 +1,12 @@
 #include "matching/greedy.hpp"
 
-#include <algorithm>
-#include <numeric>
-
 namespace rcc {
 
-namespace {
-Matching scan(EdgeSpan edges, const std::vector<std::size_t>& order) {
-  Matching m(edges.num_vertices());
-  for (std::size_t idx : order) {
-    const Edge& e = edges[idx];
-    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.match(e.u, e.v);
-  }
-  return m;
-}
-}  // namespace
-
-Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng) {
-  std::vector<std::size_t> idx(edges.num_edges());
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  if (order == GreedyOrder::kRandom) rng.shuffle(idx);
-  return scan(edges, idx);
-}
-
-Matching greedy_maximal_matching_by(
-    EdgeSpan edges, const std::function<double(const Edge&)>& key) {
-  std::vector<std::size_t> idx(edges.num_edges());
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    return key(edges[a]) < key(edges[b]);
-  });
-  return scan(edges, idx);
+Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng,
+                                 MachineScratch* scratch) {
+  Matching out;
+  greedy_maximal_matching_into(out, edges, order, rng, scratch);
+  return out;
 }
 
 void greedy_extend(Matching& base, const EdgeList& extra) {
@@ -40,6 +16,14 @@ void greedy_extend(Matching& base, const EdgeList& extra) {
   // AugmentingPath allocation per edge.
   for (const Edge& e : extra) {
     if (!base.is_matched(e.u) && !base.is_matched(e.v)) base.match(e.u, e.v);
+  }
+}
+
+void greedy_extend(Matching& base, const Matching& extra) {
+  for (VertexId v = 0; v < extra.num_vertices(); ++v) {
+    const VertexId w = extra.mate(v);
+    if (w == kInvalidVertex || w < v) continue;  // each edge once, via min end
+    if (!base.is_matched(v) && !base.is_matched(w)) base.match(v, w);
   }
 }
 

@@ -5,13 +5,21 @@
 // Omega(k)-approximation), so the order policies matter: GreedyOrder::kGiven
 // models a fixed scan, kRandom an oblivious one, and order_by lets the
 // experiments construct the adversarial order that realizes the Omega(k) gap.
+//
+// greedy_maximal_matching_by is templated on the key callable (no
+// std::function indirection — it sits inside every weighted fold's hot
+// loop) and evaluates the key ONCE per edge into a flat array before
+// sorting, so an O(m log m) sort costs m key evaluations, not m log m.
 #pragma once
 
-#include <functional>
+#include <algorithm>
+#include <numeric>
+#include <vector>
 
 #include "graph/edge_list.hpp"
 #include "matching/matching.hpp"
 #include "util/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -20,18 +28,94 @@ enum class GreedyOrder {
   kRandom,  // uniformly random permutation of the edges
 };
 
+namespace greedy_detail {
+
+/// Shared scan: adds edges in `order` while they keep `out` a matching.
+/// `out` is reset to the edge universe first.
+inline void scan_into(Matching& out, EdgeSpan edges,
+                      const std::vector<std::size_t>& order) {
+  out.reset(edges.num_vertices());
+  for (std::size_t idx : order) {
+    const Edge& e = edges[idx];
+    if (!out.is_matched(e.u) && !out.is_matched(e.v)) out.match(e.u, e.v);
+  }
+}
+
+inline std::vector<std::size_t>& order_buffer(std::vector<std::size_t>& local,
+                                              MachineScratch* scratch,
+                                              std::size_t m) {
+  std::vector<std::size_t>& idx =
+      scratch != nullptr
+          ? scratch->index_buffer(m)
+          : workspace_detail::sized(local, m, nullptr);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+}  // namespace greedy_detail
+
+/// Maximal matching scanning edges in the requested order, written into a
+/// caller-reused Matching. `rng` is only consulted for kRandom; `scratch`
+/// (optional) supplies the order buffer.
+inline void greedy_maximal_matching_into(Matching& out, EdgeSpan edges,
+                                         GreedyOrder order, Rng& rng,
+                                         MachineScratch* scratch = nullptr) {
+  std::vector<std::size_t> local;
+  std::vector<std::size_t>& idx =
+      greedy_detail::order_buffer(local, scratch, edges.num_edges());
+  if (order == GreedyOrder::kRandom) rng.shuffle(idx);
+  greedy_detail::scan_into(out, edges, idx);
+}
+
 /// Maximal matching scanning edges in the requested order. `rng` is only
 /// consulted for kRandom.
-Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng);
+Matching greedy_maximal_matching(EdgeSpan edges, GreedyOrder order, Rng& rng,
+                                 MachineScratch* scratch = nullptr);
 
 /// Maximal matching scanning edges sorted by ascending key(e); ties keep
 /// input order (stable sort). This is the hook used to build adversarial
-/// maximal matchings (e.g. "hub edges first" in the EXP2 gadget).
-Matching greedy_maximal_matching_by(
-    EdgeSpan edges, const std::function<double(const Edge&)>& key);
+/// maximal matchings (e.g. "hub edges first" in the EXP2 gadget). The key
+/// is evaluated exactly once per edge into a precomputed array; results are
+/// identical to sorting with per-comparison key calls for any pure key.
+template <typename Key>
+void greedy_maximal_matching_by_into(Matching& out, EdgeSpan edges,
+                                     const Key& key,
+                                     MachineScratch* scratch = nullptr) {
+  const std::size_t m = edges.num_edges();
+  std::vector<std::size_t> local_idx;
+  std::vector<double> local_keys;
+  std::vector<std::size_t>& idx =
+      greedy_detail::order_buffer(local_idx, scratch, m);
+  std::vector<double>& keys =
+      scratch != nullptr ? scratch->key_buffer(m)
+                         : workspace_detail::sized(local_keys, m, nullptr);
+  for (std::size_t i = 0; i < m; ++i) keys[i] = key(edges[i]);
+  // Plain sort with the index as tie-break: the exact order stable_sort
+  // would produce, without stable_sort's temporary-buffer allocation.
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  greedy_detail::scan_into(out, edges, idx);
+}
+
+template <typename Key>
+Matching greedy_maximal_matching_by(EdgeSpan edges, const Key& key,
+                                    MachineScratch* scratch = nullptr) {
+  Matching out;
+  greedy_maximal_matching_by_into(out, edges, key, scratch);
+  return out;
+}
 
 /// Greedily extends `base` with edges from `extra` that keep it a matching
 /// (the inner step of the paper's GreedyMatch combiner, Section 3.1).
 void greedy_extend(Matching& base, const EdgeList& extra);
+
+/// As above, reading the extension edges straight off another matching's
+/// mate array (ascending smaller endpoint — the same order to_edge_list()
+/// yields) without materializing an edge list. Extension edges that clash
+/// with `base` are skipped independently, so the result equals
+/// greedy_extend(base, extra.to_edge_list()).
+void greedy_extend(Matching& base, const Matching& extra);
 
 }  // namespace rcc

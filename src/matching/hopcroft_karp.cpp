@@ -3,21 +3,40 @@
 #include <limits>
 #include <vector>
 
+#include "util/workspace.hpp"
+
 namespace rcc {
 
 namespace {
 constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
-}
 
-Matching hopcroft_karp(const Graph& g) {
+/// Reusable working set of the HK solver (contents are garbage between
+/// calls; only capacity persists).
+struct HkScratch {
+  std::vector<VertexId> mate;
+  std::vector<VertexId> dist;
+  std::vector<VertexId> queue;
+};
+
+}  // namespace
+
+void hopcroft_karp_into(Matching& out, const Graph& g,
+                        MachineScratch* scratch) {
   RCC_CHECK(g.is_bipartite_tagged());
   const VertexId n = g.num_vertices();
   const VertexId nL = g.bipartition()->left_size;
 
-  std::vector<VertexId> mate(n, kInvalidVertex);
-  std::vector<VertexId> dist(nL, kInf);
-  std::vector<VertexId> queue;
-  queue.reserve(nL);
+  HkScratch local;
+  HkScratch& hk = scratch != nullptr ? scratch->state<HkScratch>() : local;
+  WorkspaceStats* stats = scratch != nullptr ? scratch->stats() : nullptr;
+  workspace_detail::sized(hk.mate, n, stats);
+  workspace_detail::sized(hk.dist, nL, stats);
+  std::fill(hk.mate.begin(), hk.mate.end(), kInvalidVertex);
+  hk.queue.clear();
+  workspace_detail::reserved(hk.queue, nL, stats);
+  std::vector<VertexId>& mate = hk.mate;
+  std::vector<VertexId>& dist = hk.dist;
+  std::vector<VertexId>& queue = hk.queue;
 
   // BFS layers from unmatched left vertices; returns true if some unmatched
   // right vertex is reachable (i.e. an augmenting path exists).
@@ -70,10 +89,15 @@ Matching hopcroft_karp(const Graph& g) {
     }
   }
 
-  Matching result(n);
+  out.reset(n);
   for (VertexId u = 0; u < nL; ++u) {
-    if (mate[u] != kInvalidVertex) result.match(u, mate[u]);
+    if (mate[u] != kInvalidVertex) out.match(u, mate[u]);
   }
+}
+
+Matching hopcroft_karp(const Graph& g, MachineScratch* scratch) {
+  Matching result;
+  hopcroft_karp_into(result, g, scratch);
   return result;
 }
 

@@ -2,7 +2,9 @@
 //
 // This is the workhorse "any maximum matching algorithm" that machines run
 // on their pieces for Theorem 1 when instances are bipartite (which all of
-// the paper's hard distributions are).
+// the paper's hard distributions are). The O(n) working arrays can come
+// from a caller-owned scratch so per-piece solves stop allocating once the
+// workspace is warm.
 #pragma once
 
 #include "graph/graph.hpp"
@@ -10,8 +12,14 @@
 
 namespace rcc {
 
+class MachineScratch;
+
 /// Maximum matching of a bipartition-tagged graph. Aborts if the graph has
 /// no bipartition tag (use maximum_matching() to dispatch automatically).
-Matching hopcroft_karp(const Graph& g);
+Matching hopcroft_karp(const Graph& g, MachineScratch* scratch = nullptr);
+
+/// As above, writing into a caller-reused Matching (reset internally).
+void hopcroft_karp_into(Matching& out, const Graph& g,
+                        MachineScratch* scratch = nullptr);
 
 }  // namespace rcc

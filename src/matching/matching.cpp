@@ -1,7 +1,5 @@
 #include "matching/matching.hpp"
 
-#include <unordered_set>
-
 namespace rcc {
 
 Matching Matching::from_edges(const EdgeList& edges) {
@@ -47,12 +45,21 @@ bool Matching::valid() const {
 }
 
 bool Matching::subset_of(EdgeSpan graph_edges) const {
-  std::unordered_set<Edge, EdgeHash> present(graph_edges.begin(),
-                                             graph_edges.end());
-  for (const Edge& e : to_edge_list()) {
-    if (!present.count(e)) return false;
+  // Flat scan instead of hashing the whole graph: a graph edge (u, v) is a
+  // matched edge iff mate[u] == v, and each matched edge is counted once via
+  // its smaller endpoint, so all size_ matched edges were seen iff the count
+  // reaches size_. Parallel copies are deduplicated by the seen[] mark.
+  std::vector<char> seen(num_vertices(), 0);
+  std::size_t found = 0;
+  for (const Edge& e : graph_edges) {
+    const VertexId lo = e.u < e.v ? e.u : e.v;
+    const VertexId hi = e.u < e.v ? e.v : e.u;
+    if (mate_[lo] == hi && !seen[lo]) {
+      seen[lo] = 1;
+      ++found;
+    }
   }
-  return true;
+  return found == size_;
 }
 
 bool Matching::maximal_in(EdgeSpan graph_edges) const {

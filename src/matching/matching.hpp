@@ -28,6 +28,14 @@ class Matching {
   bool is_matched(VertexId v) const { return mate_[v] != kInvalidVertex; }
   VertexId mate(VertexId v) const { return mate_[v]; }
 
+  /// Re-initializes to the empty matching over [0, num_vertices), keeping
+  /// the mate array's capacity — the reuse primitive that lets solvers and
+  /// round-combiners recycle one Matching instead of reconstructing it.
+  void reset(VertexId num_vertices) {
+    mate_.assign(num_vertices, kInvalidVertex);
+    size_ = 0;
+  }
+
   /// Adds edge (u, v); both endpoints must currently be unmatched.
   void match(VertexId u, VertexId v);
 

@@ -1,20 +1,49 @@
 #include "matching/max_matching.hpp"
 
+#include <optional>
+
 #include "matching/blossom.hpp"
 #include "matching/hopcroft_karp.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
-Matching maximum_matching(const Graph& g) {
-  if (g.is_bipartite_tagged()) return hopcroft_karp(g);
-  return blossom_maximum_matching(g);
+Matching maximum_matching(const Graph& g, MachineScratch* scratch) {
+  if (g.is_bipartite_tagged()) return hopcroft_karp(g, scratch);
+  return blossom_maximum_matching(g, scratch);
 }
 
-Matching maximum_matching(EdgeSpan edges, VertexId left_size) {
-  if (left_size > 0) {
-    return hopcroft_karp(Graph(edges, Bipartition{left_size}));
+Matching maximum_matching(EdgeSpan edges, VertexId left_size,
+                          MachineScratch* scratch) {
+  Matching result;
+  maximum_matching_into(result, edges, left_size, scratch);
+  return result;
+}
+
+void maximum_matching_into(Matching& out, EdgeSpan edges, VertexId left_size,
+                           MachineScratch* scratch) {
+  const std::optional<Bipartition> bipartition =
+      left_size > 0 ? std::optional<Bipartition>(Bipartition{left_size})
+                    : std::nullopt;
+  if (scratch != nullptr) {
+    // The CSR and every solver array come from the workspace: repeated
+    // per-piece / per-round solves reuse one warmed working set.
+    Graph& g = scratch->state<Graph>();
+    g.assign(edges, bipartition,
+             &scratch->cursor(static_cast<std::size_t>(edges.num_vertices())));
+    if (g.is_bipartite_tagged()) {
+      hopcroft_karp_into(out, g, scratch);
+    } else {
+      blossom_maximum_matching_into(out, g, scratch);
+    }
+    return;
   }
-  return blossom_maximum_matching(Graph(edges));
+  const Graph g(edges, bipartition);
+  if (g.is_bipartite_tagged()) {
+    hopcroft_karp_into(out, g);
+  } else {
+    blossom_maximum_matching_into(out, g);
+  }
 }
 
 std::size_t maximum_matching_size(EdgeSpan edges, VertexId left_size) {

@@ -3,7 +3,9 @@
 // Theorem 1 states that *any* maximum matching of a piece is a valid
 // coreset, independent of the algorithm computing it; this dispatcher picks
 // Hopcroft-Karp when a bipartition tag is available and Edmonds' blossom
-// otherwise, so callers never care which one ran.
+// otherwise, so callers never care which one ran. Passing a MachineScratch
+// routes the CSR build and the solver's O(n) working arrays through the
+// round-persistent workspace, so per-piece solves stop allocating once warm.
 #pragma once
 
 #include "graph/edge_list.hpp"
@@ -12,13 +14,22 @@
 
 namespace rcc {
 
+class MachineScratch;
+
 /// Maximum matching of g (HK if bipartite-tagged, blossom otherwise).
-Matching maximum_matching(const Graph& g);
+Matching maximum_matching(const Graph& g, MachineScratch* scratch = nullptr);
 
 /// Convenience: builds the Graph internally from any edge view (EdgeList or
 /// a partitioner shard — no copy either way). If `left_size` is nonzero the
 /// edges are treated as bipartite with that boundary.
-Matching maximum_matching(EdgeSpan edges, VertexId left_size = 0);
+Matching maximum_matching(EdgeSpan edges, VertexId left_size = 0,
+                          MachineScratch* scratch = nullptr);
+
+/// As above, writing into a caller-reused Matching (reset internally) — the
+/// zero-allocation shape for folds that solve one union per round.
+void maximum_matching_into(Matching& out, EdgeSpan edges,
+                           VertexId left_size = 0,
+                           MachineScratch* scratch = nullptr);
 
 /// Maximum matching *size* only.
 std::size_t maximum_matching_size(EdgeSpan edges, VertexId left_size = 0);

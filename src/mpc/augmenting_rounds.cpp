@@ -9,6 +9,7 @@
 
 #include "matching/augmenting_paths.hpp"
 #include "util/options.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -54,13 +55,14 @@ struct AugmentingRoundFold {
               [](const AugmentingPath* a, const AugmentingPath* b) {
                 return canonical_less(*a, *b);
               });
-    std::vector<char> touched(num_vertices, 0);
+    EpochMarks& touched =
+        ctx.coordinator_scratch().vertex_marks(num_vertices);
     std::size_t applied = 0;
     for (const AugmentingPath* p : candidates) {
       bool conflict = false;
-      for (VertexId v : p->vertices) conflict = conflict || touched[v];
+      for (VertexId v : p->vertices) conflict = conflict || touched.test(v);
       if (conflict) continue;
-      for (VertexId v : p->vertices) touched[v] = 1;
+      for (VertexId v : p->vertices) touched.set(v);
       apply_augmenting_path(matched, *p);
       ++applied;
     }
@@ -79,7 +81,8 @@ struct AugmentingRoundFold {
                         ctx.active_edges().num_edges()));
       const std::vector<AugmentingPath> sweep =
           find_augmenting_paths(ctx.active_edges(), matched,
-                                aug.max_path_length);
+                                aug.max_path_length,
+                                &ctx.coordinator_scratch());
       if (sweep.empty()) {
         certified = true;
         ctx.certify_ratio(aug.certified_ratio());
@@ -96,7 +99,10 @@ struct AugmentingRoundFold {
     // on purpose (matched edges are future matched hops), so this is what
     // keeps the executor's stagnation check from firing on a working round.
     ctx.note_progress(applied);
-    return ctx.active_edges().to_edge_list();
+    // Recirculate every edge through the executor's double-buffer instead
+    // of materializing a fresh copy of the arena each round.
+    ctx.survivors_out().assign(ctx.active_edges());
+    return std::move(ctx.survivors_out());
   }
 };
 
@@ -121,7 +127,7 @@ AugmentingRoundsConfig AugmentingRoundsConfig::for_epsilon(double epsilon) {
 AugmentingMpcResult run_matching_rounds_augmenting(
     const EdgeList& graph, const MpcEngineConfig& config,
     const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
-    ThreadPool* pool) {
+    ThreadPool* pool, ProtocolWorkspace* workspace) {
   RCC_CHECK(aug.max_path_length % 2 == 1);
 
   Matching matched(graph.num_vertices());
@@ -134,11 +140,12 @@ AugmentingMpcResult run_matching_rounds_augmenting(
   MpcEngineConfig exec = config;
   exec.round_label = "augmenting-round";
 
-  const auto build = [&](EdgeSpan piece, const PartitionContext&, Rng&) {
+  const auto build = [&](EdgeSpan piece, const PartitionContext& ctx, Rng&) {
     // M is stable for the whole machine phase (the fold's absorb only stages
     // candidates; all writes happen in finish), so concurrent shard searches
     // against it are safe — including overlapped with streaming absorbs.
-    return find_augmenting_paths(piece, matched, aug.max_path_length);
+    return find_augmenting_paths(piece, matched, aug.max_path_length,
+                                 ctx.scratch);
   };
   const auto account = [](const std::vector<AugmentingPath>& paths) {
     return MessageSize{0, path_words(paths)};
@@ -146,8 +153,8 @@ AugmentingMpcResult run_matching_rounds_augmenting(
   AugmentingRoundFold fold{matched, aug, certified, graph.num_vertices(), {}};
 
   AugmentingMpcResult result;
-  result.stats =
-      run_mpc_rounds(graph, exec, left_size, rng, pool, build, account, fold);
+  result.stats = run_mpc_rounds(graph, exec, left_size, rng, pool, build,
+                                account, fold, workspace);
   result.matching = std::move(matched);
   result.rounds = result.stats.mpc_rounds;
   result.max_memory_words = result.stats.max_memory_words;

@@ -86,7 +86,7 @@ struct AugmentingMpcResult {
 AugmentingMpcResult run_matching_rounds_augmenting(
     const EdgeList& graph, const MpcEngineConfig& config,
     const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, ProtocolWorkspace* workspace = nullptr);
 
 /// Reads the augmenting knobs registered by add_mpc_engine_flags
 /// (--mpc-max-path-length, --mpc-epsilon; a positive epsilon wins).

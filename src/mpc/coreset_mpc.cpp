@@ -28,10 +28,16 @@ MpcEngineConfig single_round_config(const MpcConfig& mpc,
 /// finish solves the union, extends the cumulative matching, and filters the
 /// survivors. Absorb only appends to the coordinator's union — it touches
 /// nothing the machine phase reads, so it is safe to overlap with builds.
+///
+/// All per-round state (the union list, the round matching) clears with
+/// retained capacity, the solve runs on the coordinator scratch, and the
+/// survivors fill the executor's double-buffer: steady-state rounds
+/// allocate nothing here.
 struct MatchingRoundFold {
   Matching& matched;
   VertexId left_size;
   EdgeList round_union;
+  Matching round_matching;
 
   MatchingRoundFold(Matching& matched, VertexId num_vertices,
                     VertexId left_size)
@@ -48,12 +54,15 @@ struct MatchingRoundFold {
     // matching is vertex-disjoint from the cumulative one and the extension
     // keeps all of it (round 0: the whole single-round solution). The solve
     // is compose_matching_coresets' kMaximum branch over the absorbed union.
-    const Matching round_matching = maximum_matching(round_union, left_size);
-    greedy_extend(matched, round_matching.to_edge_list());
-    round_union = EdgeList(round_union.num_vertices());
-    return ctx.active_edges().filter([&](const Edge& e) {
-      return !matched.is_matched(e.u) && !matched.is_matched(e.v);
-    });
+    maximum_matching_into(round_matching, round_union, left_size,
+                          &ctx.coordinator_scratch());
+    greedy_extend(matched, round_matching);
+    round_union.clear();
+    ctx.survivors_out().assign_filtered(
+        ctx.active_edges(), [&](const Edge& e) {
+          return !matched.is_matched(e.u) && !matched.is_matched(e.v);
+        });
+    return std::move(ctx.survivors_out());
   }
 };
 
@@ -81,17 +90,19 @@ struct VcRoundFold {
       // edges they do not cover. If no machine peeled anything, another
       // identical round cannot make progress — fall through and finish now.
       cover.merge(round_fixed);
-      round_fixed = VertexCover(n);
-      return ctx.active_edges().filter([&](const Edge& e) {
-        return !cover.contains(e.u) && !cover.contains(e.v);
-      });
+      round_fixed.reset(n);
+      ctx.survivors_out().assign_filtered(
+          ctx.active_edges(), [&](const Edge& e) {
+            return !cover.contains(e.u) && !cover.contains(e.v);
+          });
+      return std::move(ctx.survivors_out());
     }
     // Final round: the full composition (fixed vertices + 2-approximation
     // of the residual union) covers everything still active.
     cover.merge(compose_vc_coresets(summaries, n, coordinator_rng));
-    round_fixed = VertexCover(n);
+    round_fixed.reset(n);
     ctx.request_stop();
-    return EdgeList(n);
+    return std::move(ctx.survivors_out());  // reset by the executor: empty
   }
 };
 
@@ -99,7 +110,7 @@ struct VcRoundFold {
 
 CoresetMpcMatchingResult coreset_mpc_matching_rounds(
     const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
-    Rng& rng, ThreadPool* pool) {
+    Rng& rng, ThreadPool* pool, ProtocolWorkspace* workspace) {
   const MaximumMatchingCoreset coreset;
   Matching matched(graph.num_vertices());
 
@@ -113,17 +124,17 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
   MatchingRoundFold fold(matched, graph.num_vertices(), left_size);
 
   CoresetMpcMatchingResult result;
-  result.stats =
-      run_mpc_rounds(graph, config, left_size, rng, pool, build, account, fold);
+  result.stats = run_mpc_rounds(graph, config, left_size, rng, pool, build,
+                                account, fold, workspace);
   result.matching = std::move(matched);
   result.rounds = result.stats.mpc_rounds;
   result.max_memory_words = result.stats.max_memory_words;
   return result;
 }
 
-CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(const EdgeList& graph,
-                                                   const MpcEngineConfig& config,
-                                                   Rng& rng, ThreadPool* pool) {
+CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
+    const EdgeList& graph, const MpcEngineConfig& config, Rng& rng,
+    ThreadPool* pool, ProtocolWorkspace* workspace) {
   const VertexId n = graph.num_vertices();
   const PeelingVcCoreset coreset;
   VertexCover cover(n);
@@ -140,7 +151,7 @@ CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(const EdgeList& graph,
 
   CoresetMpcVcResult result;
   result.stats = run_mpc_rounds(graph, config, /*left_size=*/0, rng, pool,
-                                build, account, fold);
+                                build, account, fold, workspace);
   result.cover = std::move(cover);
   result.rounds = result.stats.mpc_rounds;
   result.max_memory_words = result.stats.max_memory_words;

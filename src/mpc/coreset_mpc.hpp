@@ -47,9 +47,12 @@ struct CoresetMpcVcResult {
 /// exactly the single-round protocol (seed-for-seed); every later round can
 /// only add edges, so the approximation is monotone in config.max_rounds.
 /// `left_size` > 0 enables the exact bipartite solver on machine M.
+/// `workspace` (optional) makes the run's round-persistent buffers outlive
+/// the call — repeated runs on one workspace stop allocating entirely.
 CoresetMpcMatchingResult coreset_mpc_matching_rounds(
     const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
-    Rng& rng, ThreadPool* pool = nullptr);
+    Rng& rng, ThreadPool* pool = nullptr,
+    ProtocolWorkspace* workspace = nullptr);
 
 /// Iterated coreset rounds for vertex cover: intermediate rounds commit only
 /// the machines' fixed (peeled) vertices and re-partition the edges they do
@@ -59,7 +62,7 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
 /// protocol.
 CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
     const EdgeList& graph, const MpcEngineConfig& config, Rng& rng,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, ProtocolWorkspace* workspace = nullptr);
 
 /// O(1)-approximate maximum matching in <= 2 MPC rounds. `left_size` > 0
 /// enables the exact bipartite solver on machine M.

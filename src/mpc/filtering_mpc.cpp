@@ -51,7 +51,7 @@ struct FilteringRoundFold {
     if (finish_round) {
       result.completed = true;
       ctx.request_stop();
-      return EdgeList(n);
+      return std::move(ctx.survivors_out());  // reset by the executor: empty
     }
     ++result.filter_iterations;
 
@@ -59,7 +59,8 @@ struct FilteringRoundFold {
     // keeps its residual shard plus the matched-vertex list resident and
     // drops covered edges.
     ctx.begin_round("broadcast-and-filter");
-    EdgeList survivors = ctx.active_edges().filter([&](const Edge& e) {
+    EdgeList& survivors = ctx.survivors_out();
+    survivors.assign_filtered(ctx.active_edges(), [&](const Edge& e) {
       return !m.is_matched(e.u) && !m.is_matched(e.v);
     });
     const std::uint64_t shard =
@@ -71,7 +72,7 @@ struct FilteringRoundFold {
     } else {
       plan_for(survivors.num_edges());
     }
-    return survivors;
+    return std::move(survivors);
   }
 };
 
@@ -79,7 +80,8 @@ struct FilteringRoundFold {
 
 FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
                                         const MpcEngineConfig& config, Rng& rng,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        ProtocolWorkspace* workspace) {
   const VertexId n = graph.num_vertices();
   const std::uint64_t memory_edges = config.mpc.memory_words / 2;
   RCC_CHECK(memory_edges > 0);
@@ -118,7 +120,7 @@ FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
   };
 
   result.stats = run_mpc_rounds(graph, engine_config, /*left_size=*/0, rng,
-                                pool, build, account, fold);
+                                pool, build, account, fold, workspace);
 
   if (result.completed) {
     RCC_CHECK(m.maximal_in(graph));

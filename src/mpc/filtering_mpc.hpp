@@ -51,7 +51,8 @@ struct FilteringMpcResult {
 /// residency is charged by the broadcast step itself).
 FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
                                         const MpcEngineConfig& config, Rng& rng,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        ProtocolWorkspace* workspace = nullptr);
 
 FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
                                  Rng& rng);

@@ -96,15 +96,20 @@ struct MpcEngineConfig {
 };
 
 /// What the round-combiner sees of one round: the input edge set it folds,
-/// its position in the schedule, and ledger access for extra super-steps.
+/// its position in the schedule, ledger access for extra super-steps, and
+/// the run's round-persistent workspace (coordinator scratch + the reusable
+/// survivor buffer).
 class MpcRoundContext {
  public:
   MpcRoundContext(MpcLedger& ledger, EdgeSpan active, std::size_t round_index,
-                  std::size_t max_rounds)
+                  std::size_t max_rounds, ProtocolWorkspace* workspace = nullptr,
+                  EdgeList* survivors_out = nullptr)
       : ledger_(ledger),
         active_(active),
         round_index_(round_index),
-        max_rounds_(max_rounds) {}
+        max_rounds_(max_rounds),
+        workspace_(workspace),
+        survivors_out_(survivors_out) {}
 
   /// This round's input edges: a view of the partition arena (shards
   /// concatenated), valid only during the fold call.
@@ -146,11 +151,35 @@ class MpcRoundContext {
   void certify_ratio(double ratio_bound) { certified_ratio_ = ratio_bound; }
   double certified_ratio() const { return certified_ratio_; }
 
+  /// The run's round-persistent workspace (null only when a context is
+  /// built stand-alone, e.g. in tests — the executor always provides one).
+  ProtocolWorkspace* workspace() { return workspace_; }
+
+  /// Coordinator-side scratch for the fold phase. Never shared with the
+  /// machine scratches, so absorb/finish may use it while machines run.
+  MachineScratch& coordinator_scratch() {
+    RCC_CHECK(workspace_ != nullptr);
+    return workspace_->coordinator();
+  }
+
+  /// The executor-owned survivor buffer for this round: cleared, capacity
+  /// retained from two rounds ago (the buffers double-buffer through the
+  /// executor). A fold fills it (assign_filtered / assign / add) and
+  /// returns std::move(survivors_out()) from finish, making steady-state
+  /// rounds allocation-free; folds may instead return any EdgeList they
+  /// own — the executor accepts both shapes.
+  EdgeList& survivors_out() {
+    RCC_CHECK(survivors_out_ != nullptr);
+    return *survivors_out_;
+  }
+
  private:
   MpcLedger& ledger_;
   EdgeSpan active_;
   std::size_t round_index_;
   std::size_t max_rounds_;
+  ProtocolWorkspace* workspace_ = nullptr;
+  EdgeList* survivors_out_ = nullptr;
   bool stop_requested_ = false;
   std::size_t progress_units_ = 0;
   double certified_ratio_ = 0.0;
@@ -172,6 +201,11 @@ struct MpcRoundReport {
   /// augmenting combiner reports augmenting paths applied this round. Zero
   /// for folds that do not report.
   std::size_t augmentations = 0;
+  /// Workspace buffer growths during this round (delta of the run
+  /// workspace's WorkspaceStats). Rounds after the first are expected to
+  /// report 0 — the allocation-discipline regression tested in
+  /// tests/workspace_test.cpp.
+  std::uint64_t workspace_allocations = 0;
   ProtocolTiming timing;
 };
 
@@ -224,7 +258,8 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
                                  const MpcEngineConfig& config,
                                  VertexId left_size, Rng& rng, ThreadPool* pool,
                                  const Build& build, const Account& account,
-                                 Fold&& fold) {
+                                 Fold&& fold,
+                                 ProtocolWorkspace* workspace = nullptr) {
   const std::size_t k = config.mpc.num_machines;
   RCC_CHECK(k >= 1);
   RCC_CHECK(config.max_rounds >= 1);
@@ -233,16 +268,37 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
   MpcLedger ledger(config.mpc);
   MpcExecutionStats stats;
 
-  EdgeList survivors;  // owns the shrinking edge set after round 0
+  // The run's round-persistent workspace: machine/coordinator scratches,
+  // partition buffers, and the survivor double-buffer all reach their
+  // high-water mark in round 0 and are reused afterwards. A caller-provided
+  // workspace extends the reuse across runs (and exposes the counters).
+  // One workspace serves one run at a time.
+  ProtocolWorkspace local_workspace;
+  ProtocolWorkspace& ws = workspace != nullptr ? *workspace : local_workspace;
+  ws.ensure_machines(k);
+
+  ShardedPartition<Edge> parts;  // persistent: the arena is grow-only
+  // The survivor double-buffer rides the coordinator scratch so a warm
+  // workspace carries its capacity across runs, not just across rounds.
+  struct ExecutorEdgeBuffers {
+    EdgeList survivors;  // owns the shrinking edge set after round 0
+    EdgeList spare;      // next round's survivor buffer (double-buffered)
+  };
+  ExecutorEdgeBuffers& bufs =
+      ws.coordinator().state<ExecutorEdgeBuffers>();
+  EdgeList& survivors = bufs.survivors;
+  EdgeList& spare = bufs.spare;
+  survivors.reset(n);
   for (std::size_t r = 0; r < config.max_rounds; ++r) {
     const EdgeList& input = (r == 0) ? graph : survivors;
+    const std::uint64_t allocations_before = ws.counters().allocations;
 
     // Partition phase: the engine's sharded single-arena partitioner over
     // the surviving edges.
     WallTimer timer;
-    const ShardedPartition<Edge> parts(
+    parts.repartition(
         std::span<const Edge>(input.edges().data(), input.num_edges()), n, k,
-        rng, pool);
+        rng, pool, &ws.partition());
     const double partition_seconds = timer.seconds();
 
     if (r == 0 && !config.input_already_random) {
@@ -267,9 +323,10 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
     // before any super-step the fold opens), mirroring the coreset round's
     // "send everything to M" collect; the streaming path charges each
     // summary as it is absorbed — same totals, same per-round peaks.
+    spare.reset(n);  // cleared, capacity retained from two rounds ago
     MpcRoundContext round_ctx(
         ledger, EdgeSpan(parts.arena().data(), parts.num_edges(), n), r,
-        config.max_rounds);
+        config.max_rounds, &ws, &spare);
     using Summary = std::decay_t<std::invoke_result_t<
         const Build&, EdgeSpan, const PartitionContext&, Rng&>>;
     constexpr bool streaming_capable =
@@ -292,7 +349,7 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
           } adapter{fold, round_ctx, ledger};
           return run_protocol_streaming_on_pieces<Edge>(
               pieces_of(parts), n, left_size, rng, pool, build, account,
-              adapter, config.streaming);
+              adapter, config.streaming, &ws);
         }
       }
       return run_protocol_on_pieces<Edge>(
@@ -312,13 +369,22 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
             } else {
               return fold(summaries, round_ctx, coordinator_rng);
             }
-          });
+          },
+          &ws);
     };
     auto result = run_round();
     result.timing.partition_seconds = partition_seconds;
 
     const std::size_t active = input.num_edges();
-    survivors = std::move(result.solution);
+    // Double-buffer: the round's input storage becomes the NEXT round's
+    // survivor buffer (spare), and the fold's output — typically the moved-
+    // out spare — becomes the input. After two rounds both buffers sit at
+    // their high-water capacity and the handoff allocates nothing (`input`
+    // is dead past this point, so recycling its storage is safe; at r == 0
+    // the swap hands a warm workspace's prior-run capacity back to spare).
+    EdgeList produced = std::move(result.solution);
+    std::swap(spare, survivors);
+    survivors = std::move(produced);
     ++stats.engine_rounds;
     stats.total_comm_words += result.comm.total_words();
     stats.total_timing.partition_seconds += result.timing.partition_seconds;
@@ -335,6 +401,8 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
           std::max(report.peak_machine_words, ledger.round_peak_words()[s]);
     }
     report.augmentations = round_ctx.progress_units();
+    report.workspace_allocations =
+        ws.counters().allocations - allocations_before;
     stats.total_augmentations += round_ctx.progress_units();
     // The certificate is a statement about the solution as of THIS round: an
     // uncertified later round that keeps mutating the solution clears any

@@ -19,6 +19,8 @@
 
 namespace rcc {
 
+class MachineScratch;
+
 /// Everything a machine is allowed to know about the global setup: the
 /// vertex universe, the machine count, its own index, and (if the instance
 /// is bipartite) the bipartition boundary. Machines never see n_edges(G) or
@@ -28,6 +30,11 @@ struct PartitionContext {
   std::size_t k = 1;
   std::size_t machine_index = 0;
   VertexId left_size = 0;  // 0 = not known to be bipartite
+  /// Round-persistent scratch for this machine (util/workspace.hpp), or
+  /// null when the caller runs without a workspace. Purely an execution
+  /// resource: it carries no information about the instance, so the
+  /// "machines only know their piece" contract is untouched.
+  MachineScratch* scratch = nullptr;
 };
 
 /// Assigns each edge independently and uniformly to one of k machines.

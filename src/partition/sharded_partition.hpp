@@ -36,6 +36,7 @@
 #include "matching/weighted.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
 
 namespace rcc {
 
@@ -54,16 +55,32 @@ class ShardedPartition {
   /// from one forked RNG stream per batch; `pool` may be null for
   /// sequential execution (same result either way).
   ShardedPartition(std::span<const EdgeT> edges, VertexId num_vertices,
-                   std::size_t k, Rng& rng, ThreadPool* pool = nullptr)
-      : num_vertices_(num_vertices) {
+                   std::size_t k, Rng& rng, ThreadPool* pool = nullptr) {
+    repartition(edges, num_vertices, k, rng, pool);
+  }
+
+  /// (Re)partitions into this object, reusing the arena (grow-only) and —
+  /// when `scratch` is given — the counting/scatter buffers of a
+  /// round-persistent workspace. Byte-identical results to constructing a
+  /// fresh ShardedPartition with the same inputs; the multi-round executor
+  /// calls this once per round so steady-state rounds allocate nothing here.
+  void repartition(std::span<const EdgeT> edges, VertexId num_vertices,
+                   std::size_t k, Rng& rng, ThreadPool* pool = nullptr,
+                   PartitionScratch* scratch = nullptr) {
+    num_vertices_ = num_vertices;
     RCC_CHECK(k >= 1);
     const std::size_t m = edges.size();
     const std::size_t num_batches =
         (m + kPartitionBatchEdges - 1) / kPartitionBatchEdges;
 
+    PartitionScratch local;
+    PartitionScratch& s = scratch != nullptr ? *scratch : local;
+    WorkspaceStats* stats = s.stats;
+
     // Fork the per-batch streams up front (serial: forking is two draws).
-    std::vector<Rng> batch_rngs;
-    batch_rngs.reserve(num_batches);
+    std::vector<Rng>& batch_rngs =
+        workspace_detail::reserved(s.batch_rngs, num_batches, stats);
+    batch_rngs.clear();
     for (std::size_t b = 0; b < num_batches; ++b) {
       batch_rngs.push_back(rng.fork());
     }
@@ -73,10 +90,18 @@ class ShardedPartition {
     // does not redraw. For k <= 256 each 64-bit draw yields four k-sided
     // dice via 16-bit-lane Lemire rejection — still exactly uniform, and
     // the dominant cost of the legacy per-edge next_below drops ~4x.
-    std::vector<std::size_t> counts(num_batches * k, 0);
     const bool narrow = k <= 256;
-    std::vector<std::uint8_t> dest8(narrow ? m : 0);
-    std::vector<std::uint32_t> dest32(narrow ? 0 : m);
+    std::vector<std::size_t>& counts =
+        workspace_detail::sized(s.counts, num_batches * k, stats);
+    if (!narrow) {
+      // The narrow counting pass overwrites every (batch, machine) row in
+      // full; the wide pass increments and needs a zeroed histogram.
+      std::fill(counts.begin(), counts.end(), std::size_t{0});
+    }
+    std::vector<std::uint8_t>& dest8 =
+        workspace_detail::sized(s.dest8, narrow ? m : 0, stats);
+    std::vector<std::uint32_t>& dest32 =
+        workspace_detail::sized(s.dest32, narrow ? 0 : m, stats);
     const auto count_batch = [&](std::size_t b) {
       Rng& brng = batch_rngs[b];
       const std::size_t begin = b * kPartitionBatchEdges;
@@ -131,9 +156,12 @@ class ShardedPartition {
       for (std::size_t j = 0; j < k; ++j) offsets_[j + 1] += counts[b * k + j];
     }
     for (std::size_t j = 0; j < k; ++j) offsets_[j + 1] += offsets_[j];
-    std::vector<std::size_t> cursors(num_batches * k);
+    std::vector<std::size_t>& cursors =
+        workspace_detail::sized(s.cursors, num_batches * k, stats);
     {
-      std::vector<std::size_t> running(offsets_.begin(), offsets_.end() - 1);
+      std::vector<std::size_t>& running =
+          workspace_detail::sized(s.running, k, stats);
+      std::copy(offsets_.begin(), offsets_.end() - 1, running.begin());
       for (std::size_t b = 0; b < num_batches; ++b) {
         for (std::size_t j = 0; j < k; ++j) {
           cursors[b * k + j] = running[j];
@@ -147,10 +175,23 @@ class ShardedPartition {
     // already honor the EdgeList invariants). The arena is uninitialized
     // byte storage (EdgeT is an implicit-lifetime aggregate): every slot is
     // written exactly once by the scatter, so a zeroing resize would be a
-    // wasted full pass over the buffer.
+    // wasted full pass over the buffer. Grow-only across repartition calls,
+    // and — with a workspace scratch — owned by the workspace, so arenas
+    // survive the partition object and whole RUNS stop allocating here.
     num_edges_ = m;
-    arena_storage_.reset(new std::byte[m * sizeof(EdgeT)]);
-    EdgeT* arena = reinterpret_cast<EdgeT*>(arena_storage_.get());
+    std::unique_ptr<std::byte[]>& storage =
+        scratch != nullptr ? s.arena : arena_storage_;
+    std::size_t& capacity = scratch != nullptr ? s.arena_capacity_bytes
+                                               : arena_capacity_bytes_;
+    if (capacity < m * sizeof(EdgeT)) {
+      if (stats != nullptr) {
+        stats->note_growth(m * sizeof(EdgeT) - capacity);
+      }
+      storage.reset(new std::byte[m * sizeof(EdgeT)]);
+      capacity = m * sizeof(EdgeT);
+    }
+    arena_ = reinterpret_cast<EdgeT*>(storage.get());
+    EdgeT* arena = arena_;
     const auto scatter_batch = [&](std::size_t b) {
       std::size_t* cur = cursors.data() + b * k;
       const std::size_t begin = b * kPartitionBatchEdges;
@@ -177,18 +218,14 @@ class ShardedPartition {
 
   /// Machine i's piece: a view into the shared arena, never a copy.
   std::span<const EdgeT> shard(std::size_t i) const {
-    const EdgeT* arena = reinterpret_cast<const EdgeT*>(arena_storage_.get());
-    return {arena + offsets_[i], arena + offsets_[i + 1]};
+    return {arena_ + offsets_[i], arena_ + offsets_[i + 1]};
   }
 
   /// The whole partitioned edge set as one contiguous view (the shards
   /// concatenated in machine order). The multi-round MPC executor hands this
   /// to its round-combiner so survivors can be filtered without re-collecting
   /// the pieces.
-  std::span<const EdgeT> arena() const {
-    const EdgeT* arena = reinterpret_cast<const EdgeT*>(arena_storage_.get());
-    return {arena, num_edges_};
-  }
+  std::span<const EdgeT> arena() const { return {arena_, num_edges_}; }
 
   std::size_t shard_size(std::size_t i) const {
     return offsets_[i + 1] - offsets_[i];
@@ -209,7 +246,11 @@ class ShardedPartition {
 
   VertexId num_vertices_ = 0;
   std::size_t num_edges_ = 0;
+  /// The scattered edges: either owned storage (below) or a view into the
+  /// caller's PartitionScratch arena, which must then outlive this object.
+  EdgeT* arena_ = nullptr;
   std::unique_ptr<std::byte[]> arena_storage_;
+  std::size_t arena_capacity_bytes_ = 0;
   std::vector<std::size_t> offsets_{0};  // size k+1 ({0} = empty partition)
 };
 

@@ -18,22 +18,30 @@ namespace {
 /// Shared peeling loop: round j (1-based) removes alive vertices with
 /// residual degree >= threshold(j); stops when stop(j) or nothing changes
 /// and thresholds have bottomed out.
+///
+/// The degree buffer and the shrinking edge set are double-buffered across
+/// peeling rounds (one warmed pair of lists instead of a fresh allocation
+/// per level) — the workspace discipline of util/workspace.hpp applied to
+/// this module's own loop.
 PeelingResult peel(const EdgeList& edges,
                    const std::function<double(int)>& threshold, int max_rounds) {
   PeelingResult result;
   const VertexId n = edges.num_vertices();
   std::vector<bool> removed(n, false);
+  std::vector<VertexId> deg;
   EdgeList current = edges;
+  EdgeList next(n);
   for (int j = 1; j <= max_rounds; ++j) {
     const double thr = threshold(j);
-    const auto deg = current.degrees();
+    EdgeSpan(current).degrees_into(deg);
     std::vector<VertexId> level;
     for (VertexId v = 0; v < n; ++v) {
       if (!removed[v] && static_cast<double>(deg[v]) >= thr) level.push_back(v);
     }
     for (VertexId v : level) removed[v] = true;
-    current = current.filter(
-        [&](const Edge& e) { return !removed[e.u] && !removed[e.v]; });
+    next.assign_filtered(
+        current, [&](const Edge& e) { return !removed[e.u] && !removed[e.v]; });
+    std::swap(current, next);
     result.levels.push_back(std::move(level));
   }
   result.residual = std::move(current);

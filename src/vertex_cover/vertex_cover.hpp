@@ -18,6 +18,13 @@ class VertexCover {
   static VertexCover from_vertices(VertexId num_vertices,
                                    const std::vector<VertexId>& vertices);
 
+  /// Re-initializes to the empty cover over [0, num_vertices), keeping the
+  /// indicator's capacity (the reuse primitive for per-round cover buffers).
+  void reset(VertexId num_vertices) {
+    in_cover_.assign(num_vertices, false);
+    size_ = 0;
+  }
+
   VertexId num_vertices() const {
     return static_cast<VertexId>(in_cover_.size());
   }

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite --json files and flag throughput regressions.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
+        [--github-annotations] [--fail-on-regression]
+
+Rows are matched on (scenario, family, k, rounds). For each matched row the
+relative change in seconds_median is reported; a row slower than baseline by
+more than the threshold counts as a regression, faster by more than the
+threshold as an improvement. Rows present on only one side are listed but
+never fail the run (new scenarios are how the grid grows).
+
+Exit status is 0 unless --fail-on-regression is given and at least one
+regression was found. CI runs this non-gating (annotations only): shared
+runners are noisy, and bench_suite medians at --scale 0.25 swing more than
+the threshold on their own — the numbers are for humans reading the job log,
+the checked-in baseline (BENCH_PR5.json) is the reference measured on a
+quiet machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (row["scenario"], row["family"], row["k"], row["rounds"])
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if "rows" not in data:
+        raise SystemExit(f"{path}: not a bench_suite JSON (no 'rows')")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression")
+    parser.add_argument("--github-annotations", action="store_true",
+                        help="emit ::warning:: lines for regressions")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base.get("scale") != cur.get("scale"):
+        raise SystemExit(
+            f"scale mismatch: baseline ran at {base.get('scale')}, current at "
+            f"{cur.get('scale')} — compare against the baseline checked in "
+            f"for that scale (BENCH_PR5.json is scale 1.0, "
+            f"BENCH_PR5_scale025.json is the CI scale)")
+    base_rows = {row_key(r): r for r in base["rows"]}
+    cur_rows = {row_key(r): r for r in cur["rows"]}
+
+    regressions, improvements, steady = [], [], []
+    for key, cur_row in cur_rows.items():
+        base_row = base_rows.get(key)
+        if base_row is None:
+            continue
+        b = base_row["seconds_median"]
+        c = cur_row["seconds_median"]
+        if b <= 0:
+            continue
+        change = (c - b) / b  # positive = slower
+        entry = (key, b, c, change)
+        if change > args.threshold:
+            regressions.append(entry)
+        elif change < -args.threshold:
+            improvements.append(entry)
+        else:
+            steady.append(entry)
+
+    only_base = sorted(set(base_rows) - set(cur_rows))
+    only_cur = sorted(set(cur_rows) - set(base_rows))
+
+    def fmt(key):
+        scenario, family, k, rounds = key
+        return f"{scenario}/{family} k={k} rounds={rounds}"
+
+    print(f"compared {len(cur_rows)} rows against {args.baseline} "
+          f"(threshold ±{args.threshold:.0%})")
+    for title, entries, sign in (("REGRESSIONS", regressions, "+"),
+                                 ("improvements", improvements, "")):
+        if not entries:
+            continue
+        print(f"\n{title}:")
+        for key, b, c, change in sorted(entries, key=lambda e: -abs(e[3])):
+            print(f"  {fmt(key):55s} {b:.4f}s -> {c:.4f}s "
+                  f"({sign}{change:+.1%})")
+            if title == "REGRESSIONS" and args.github_annotations:
+                print(f"::warning title=bench regression::{fmt(key)}: "
+                      f"{b:.4f}s -> {c:.4f}s ({change:+.1%})")
+    print(f"\nwithin threshold: {len(steady)} rows")
+    if only_base:
+        print(f"rows only in baseline: {', '.join(fmt(k) for k in only_base)}")
+    if only_cur:
+        print(f"rows only in current:  {', '.join(fmt(k) for k in only_cur)}")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
