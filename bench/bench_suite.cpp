@@ -176,6 +176,8 @@ int run_suite(int argc, char** argv) {
   opts.flag("scenario", "", "only run rows whose scenario contains this substring");
   opts.flag("family", "", "only run rows whose family contains this substring");
   opts.flag("threads", "0", "thread-pool size (0 = hardware concurrency, capped at 8)");
+  opts.flag("pool-affinity", "false",
+            "pin pool workers to cores (Linux; results are identical either way)");
   opts.parse(argc, argv);
 
   ExperimentSetup setup;
@@ -190,11 +192,15 @@ int run_suite(int argc, char** argv) {
     threads = std::min<std::size_t>(8, std::thread::hardware_concurrency());
     threads = std::max<std::size_t>(1, threads);
   }
-  ThreadPool pool(threads);
+  ThreadPoolOptions pool_options;
+  pool_options.pin_affinity = opts.get_bool("pool-affinity");
+  ThreadPool pool(threads, pool_options);
 
-  std::printf("=== bench_suite ===\n(seed=%llu scale=%.2f reps=%d threads=%zu)\n\n",
-              static_cast<unsigned long long>(setup.seed), setup.scale,
-              setup.reps, threads);
+  std::printf(
+      "=== bench_suite ===\n(seed=%llu scale=%.2f reps=%d threads=%zu "
+      "affinity=%s)\n\n",
+      static_cast<unsigned long long>(setup.seed), setup.scale, setup.reps,
+      threads, pool_options.pin_affinity ? "on" : "off");
 
   const std::vector<Family> families = make_families(setup.scale, setup.seed);
   std::vector<Row> rows;

@@ -194,10 +194,13 @@ auto run_protocol_streaming_on_pieces(
       fold.absorb(result.summaries[id], id);
     }
   };
-  if (pool == nullptr || k == 1) {
+  if (pool == nullptr || pool->size() == 1 || k == 1) {
     // Sequential: build and absorb alternate machine by machine, so arrival
     // order IS canonical order and every absorb but the last overlaps an
-    // unfinished machine in the schedule sense.
+    // unfinished machine in the schedule sense. A one-worker pool takes this
+    // branch too — it admits no machine/absorb overlap, so the dispatch
+    // (one futex wake per machine while the coordinator blocks on the
+    // completion queue) is pure overhead on top of the same schedule.
     for (std::size_t i = 0; i < k; ++i) {
       machine_work(i);
       deliver(i);

@@ -128,6 +128,7 @@ class EdgeSpan {
 
   const Edge& operator[](std::size_t i) const { return data_[i]; }
 
+  const Edge* data() const { return data_; }
   const Edge* begin() const { return data_; }
   const Edge* end() const { return data_ + size_; }
 

@@ -13,20 +13,35 @@ void Graph::assign(EdgeSpan edges, std::optional<Bipartition> bipartition,
   num_vertices_ = edges.num_vertices();
   edge_count_ = edges.num_edges();
   bipartition_ = bipartition;
-  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
-  for (const Edge& e : edges) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
+  const std::size_t n = num_vertices_;
+  offsets_.assign(n + 1, 0);
+  std::size_t* off = offsets_.data();
+  const Edge* es = edges.data();
+  for (std::size_t i = 0; i < edge_count_; ++i) {
+    ++off[es[i].u + 1];
+    ++off[es[i].v + 1];
   }
-  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
-  adjacency_.resize(edge_count_ * 2);
   std::vector<std::size_t> local_cursor;
   std::vector<std::size_t>& cursor =
       cursor_scratch != nullptr ? *cursor_scratch : local_cursor;
-  cursor.assign(offsets_.begin(), offsets_.end() - 1);
-  for (const Edge& e : edges) {
-    adjacency_[cursor[e.u]++] = e.v;
-    adjacency_[cursor[e.v]++] = e.u;
+  cursor.resize(n);
+  std::size_t* cur = cursor.data();
+  // Fused prefix sum + cursor initialization: one pass over the vertex
+  // range instead of a prefix pass followed by a copy. Layout unchanged —
+  // neighbors keep the input edge order (the scatter below is stable),
+  // which downstream solvers' returned matchings depend on.
+  std::size_t run = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t d = off[v + 1];
+    cur[v] = run;
+    off[v + 1] = run + d;
+    run += d;
+  }
+  adjacency_.resize(edge_count_ * 2);
+  VertexId* adj = adjacency_.data();
+  for (std::size_t i = 0; i < edge_count_; ++i) {
+    adj[cur[es[i].u]++] = es[i].v;
+    adj[cur[es[i].v]++] = es[i].u;
   }
 }
 

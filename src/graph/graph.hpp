@@ -52,6 +52,11 @@ class Graph {
     return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
   }
 
+  /// Flat CSR views (sizes n+1 and 2m) for hot solver loops that hoist the
+  /// arrays into locals once instead of re-deriving a span per probe.
+  const std::size_t* offsets_data() const { return offsets_.data(); }
+  const VertexId* adjacency_data() const { return adjacency_.data(); }
+
   VertexId max_degree() const;
 
   const std::optional<Bipartition>& bipartition() const { return bipartition_; }

@@ -4,49 +4,12 @@
 #include <span>
 
 #include "graph/edge.hpp"
+#include "graph/incremental_csr.hpp"
 #include "util/workspace.hpp"
 
 namespace rcc {
 
 namespace {
-
-/// Sorted CSR adjacency over the searched edge set (parallel edges collapse
-/// naturally: the DFS only asks "is w reachable from u", so duplicates just
-/// repeat a neighbor and are skipped by the on-path checks). The three
-/// arrays live in the caller's scratch so repeated searches (one per machine
-/// per MPC round) reuse their capacity.
-struct Adjacency {
-  std::span<std::size_t> offsets;  // n + 1
-  std::span<VertexId> neighbors;   // 2m
-
-  Adjacency(EdgeSpan edges, MachineScratch& scratch) {
-    const VertexId n = edges.num_vertices();
-    std::vector<std::size_t>& off = scratch.offsets(n + 1);
-    std::fill(off.begin(), off.end(), std::size_t{0});
-    for (const Edge& e : edges) {
-      ++off[e.u + 1];
-      ++off[e.v + 1];
-    }
-    for (VertexId v = 0; v < n; ++v) off[v + 1] += off[v];
-    std::vector<VertexId>& nbr = scratch.neighbors(off[n]);
-    std::vector<std::size_t>& cursor = scratch.cursor(n);
-    std::copy(off.begin(), off.end() - 1, cursor.begin());
-    for (const Edge& e : edges) {
-      nbr[cursor[e.u]++] = e.v;
-      nbr[cursor[e.v]++] = e.u;
-    }
-    for (VertexId v = 0; v < n; ++v) {
-      std::sort(nbr.begin() + static_cast<std::ptrdiff_t>(off[v]),
-                nbr.begin() + static_cast<std::ptrdiff_t>(off[v + 1]));
-    }
-    offsets = std::span<std::size_t>(off.data(), n + 1);
-    neighbors = std::span<VertexId>(nbr.data(), off[n]);
-  }
-
-  std::span<const VertexId> of(VertexId v) const {
-    return {neighbors.data() + offsets[v], neighbors.data() + offsets[v + 1]};
-  }
-};
 
 /// Depth-bounded exhaustive DFS over simple alternating paths. `blocked`
 /// doubles as the on-path marker during the recursion and as the permanent
@@ -55,12 +18,20 @@ struct Adjacency {
 /// keeps the emptiness test exact in non-bipartite graphs). The marks are
 /// epoch-stamped (EpochMarks): "all clear" is an O(1) epoch bump instead of
 /// an O(n) allocation + zeroing per search call.
+///
+/// Everything the inner loop touches is a flat pointer captured once: the
+/// CSR rows, the mate array, and the mark view. The search is memory-bound
+/// on small shards, and routing each probe through accessor methods made
+/// the compiler re-load members across stores; the flat form keeps the loop
+/// state in registers. Results are bit-identical to the accessor form (same
+/// adjacency order, same checks in the same order).
 class PathSearch {
  public:
-  PathSearch(const Adjacency& adj, const Matching& matching,
-             std::size_t max_length, EpochMarks& blocked)
-      : adj_(adj),
-        matching_(matching),
+  PathSearch(const IncrementalCsr& csr, const Matching& matching,
+             std::size_t max_length, EpochMarks::View blocked)
+      : off_(csr.offsets_data()),
+        nbr_(csr.arcs_data()),
+        mate_(matching.mate_data()),
         free_budget_((max_length + 1) / 2),
         blocked_(blocked) {}
 
@@ -80,17 +51,18 @@ class PathSearch {
   /// `u` is at an even position (start, or just entered via a matching
   /// edge); `budget` non-matching hops remain.
   bool extend(VertexId u, std::size_t budget, std::vector<VertexId>& path) {
-    const VertexId mate_u = matching_.is_matched(u) ? matching_.mate(u)
-                                                    : kInvalidVertex;
-    for (VertexId w : adj_.of(u)) {
+    const VertexId mate_u = mate_[u];  // kInvalidVertex when u is free
+    const std::size_t row_end = off_[u + 1];
+    for (std::size_t i = off_[u]; i < row_end; ++i) {
+      const VertexId w = nbr_[i];
       if (w == mate_u || blocked_.test(w)) continue;  // non-matching simple hop
-      if (!matching_.is_matched(w)) {                 // free endpoint: done
+      const VertexId x = mate_[w];
+      if (x == kInvalidVertex) {  // free endpoint: done
         path.push_back(w);
         blocked_.set(w);
         return true;
       }
       if (budget < 2) continue;  // the forced matched hop needs one more
-      const VertexId x = matching_.mate(w);
       if (blocked_.test(x)) continue;
       path.push_back(w);
       path.push_back(x);
@@ -105,10 +77,11 @@ class PathSearch {
     return false;
   }
 
-  const Adjacency& adj_;
-  const Matching& matching_;
+  const std::uint32_t* off_;
+  const VertexId* nbr_;
+  const VertexId* mate_;
   std::size_t free_budget_;
-  EpochMarks& blocked_;
+  EpochMarks::View blocked_;
 };
 
 std::vector<AugmentingPath> search(EdgeSpan edges, const Matching& matching,
@@ -121,12 +94,33 @@ std::vector<AugmentingPath> search(EdgeSpan edges, const Matching& matching,
 
   MachineScratch local;
   MachineScratch& s = scratch != nullptr ? *scratch : local;
-  const Adjacency adj(edges, s);
+  IncrementalCsr& csr = s.state<IncrementalCsr>();
+  // Counting-sort build, or O(m) reuse when the multiset is unchanged — the
+  // coordinator sweep and augment_matching's batch loop re-search one fixed
+  // edge set, so their CSR survives across calls untouched.
+  csr.ensure(edges, s.stats());
   EpochMarks& blocked = s.vertex_marks(n);
-  PathSearch dfs(adj, matching, max_length, blocked);
-  std::vector<VertexId> path;
+  PathSearch dfs(csr, matching, max_length, blocked.view());
+  const EpochMarks::View committed = blocked.view();
+  const VertexId* mate = matching.mate_data();
+  const std::uint32_t* off = csr.offsets_data();
+  // The DFS path buffer lives in the scratch so warm searches (including
+  // fruitless probes that push/pop a few hops) never allocate.
+  std::vector<VertexId>& path = s.state<std::vector<VertexId>>();
+  path.clear();
+  std::size_t row_begin = off[0];
   for (VertexId s_vertex = 0; s_vertex < n; ++s_vertex) {
-    if (matching.is_matched(s_vertex) || blocked.test(s_vertex)) continue;
+    // Degree-0 starts (vertices outside this shard's piece) cannot begin a
+    // path: from() would push, scan an empty row, and unwind. Skipping them
+    // is result-identical and turns the start scan from O(n) probes into
+    // O(vertices actually present) — the shard-piece case where n is the
+    // full universe but the piece holds m/k edges. The running row_begin
+    // keeps the scan at one offset load per vertex.
+    const std::size_t row_end = off[s_vertex + 1];
+    const bool isolated = row_end == row_begin;
+    row_begin = row_end;
+    if (isolated) continue;
+    if (mate[s_vertex] != kInvalidVertex || committed.test(s_vertex)) continue;
     if (!dfs.from(s_vertex, path)) continue;
     AugmentingPath p{path};
     p.canonicalize();
@@ -162,17 +156,28 @@ bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
 }
 
 bool is_valid_augmenting_path(const AugmentingPath& path,
-                              const Matching& matching) {
+                              const Matching& matching,
+                              MachineScratch* scratch) {
   const std::size_t len = path.vertices.size();
   if (len < 2 || len % 2 != 0) return false;  // odd edge count = even vertices
   const VertexId n = matching.num_vertices();
-  // Flat simplicity check: sort a copy and look for adjacent repeats (the
-  // former unordered_set insert loop, minus the hashing).
-  std::vector<VertexId> sorted(path.vertices);
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.back() >= n) return false;  // ids in range (sorted: max is last)
-  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
-    return false;  // repeated vertex
+  if (scratch != nullptr) {
+    // Simplicity via epoch-stamped marks: O(len) and allocation-free (the
+    // former sorted-copy check heap-allocated per call).
+    const EpochMarks::View seen = scratch->vertex_marks(n).view();
+    for (const VertexId v : path.vertices) {
+      if (v >= n || seen.test(v)) return false;  // out of range or repeated
+      seen.set(v);
+    }
+  } else {
+    // No scratch: paths are short (2k+1 hops for small k), so a pairwise
+    // scan stays cheap and never touches the heap either.
+    for (std::size_t i = 0; i < len; ++i) {
+      if (path.vertices[i] >= n) return false;
+      for (std::size_t j = i + 1; j < len; ++j) {
+        if (path.vertices[i] == path.vertices[j]) return false;
+      }
+    }
   }
   if (matching.is_matched(path.vertices.front()) ||
       matching.is_matched(path.vertices.back())) {
@@ -191,8 +196,9 @@ bool is_valid_augmenting_path(const AugmentingPath& path,
 }
 
 bool is_valid_augmenting_path(const AugmentingPath& path,
-                              const Matching& matching, EdgeSpan edges) {
-  if (!is_valid_augmenting_path(path, matching)) return false;
+                              const Matching& matching, EdgeSpan edges,
+                              MachineScratch* scratch) {
+  if (!is_valid_augmenting_path(path, matching, scratch)) return false;
   // Flat membership check: collect the path's non-matching hops (few) into a
   // sorted array and scan the edge set once, instead of hashing all m edges.
   std::vector<Edge> hops;

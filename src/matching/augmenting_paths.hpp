@@ -29,7 +29,9 @@
 // route that the unit tests cross-check against Hopcroft-Karp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "graph/edge_list.hpp"
@@ -40,13 +42,116 @@ namespace rcc {
 
 class MachineScratch;
 
+/// Small-buffer vertex sequence for AugmentingPath. Bounded searches emit
+/// short paths (a 2k+1 length cap means 2k+2 vertices, k a small constant),
+/// and the machine phase creates thousands of them per round — one heap
+/// allocation per path dominated the empty-matching bootstrap round. Up to
+/// kInline vertices live inside the object; longer sequences (the exact
+/// maximum-matching route drops the cap) spill to the heap transparently.
+/// Iteration, indexing, and comparisons behave exactly like the
+/// std::vector<VertexId> this replaces (lexicographic order in particular,
+/// which the combiner's canonical sort depends on).
+class PathVertices {
+ public:
+  static constexpr std::uint32_t kInline = 8;
+
+  PathVertices() = default;
+  PathVertices(std::initializer_list<VertexId> init) {
+    assign(init.begin(), init.size());
+  }
+  PathVertices(const std::vector<VertexId>& v) { assign(v.data(), v.size()); }
+  PathVertices(const PathVertices& other) {
+    assign(other.data(), other.size_);
+  }
+  PathVertices(PathVertices&& other) noexcept { steal(other); }
+  PathVertices& operator=(const PathVertices& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+  PathVertices& operator=(PathVertices&& other) noexcept {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = nullptr;
+      capacity_ = kInline;
+      steal(other);
+    }
+    return *this;
+  }
+  ~PathVertices() { delete[] heap_; }
+
+  VertexId* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const VertexId* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  VertexId* begin() { return data(); }
+  VertexId* end() { return data() + size_; }
+  const VertexId* begin() const { return data(); }
+  const VertexId* end() const { return data() + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  VertexId operator[](std::size_t i) const { return data()[i]; }
+  VertexId& operator[](std::size_t i) { return data()[i]; }
+  VertexId front() const { return data()[0]; }
+  VertexId back() const { return data()[size_ - 1]; }
+
+  void push_back(VertexId v) {
+    if (size_ == capacity_) grow(2 * capacity_);
+    data()[size_++] = v;
+  }
+  void clear() { size_ = 0; }
+
+  friend bool operator==(const PathVertices& a, const PathVertices& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const PathVertices& a,
+                         const std::vector<VertexId>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator<(const PathVertices& a, const PathVertices& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  void assign(const VertexId* src, std::size_t n) {
+    if (n > capacity_) grow(n);
+    std::copy(src, src + n, data());
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  void grow(std::size_t n) {
+    VertexId* fresh = new VertexId[n];
+    std::copy(data(), data() + size_, fresh);
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = static_cast<std::uint32_t>(n);
+  }
+  /// Move helper: assumes *this owns no heap block. Inline contents move by
+  /// copy (trivial elements); a heap block changes owners.
+  void steal(PathVertices& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.capacity_ = kInline;
+    } else {
+      std::copy(other.inline_, other.inline_ + other.size_, inline_);
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  VertexId* heap_ = nullptr;  // non-null iff spilled past kInline
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = kInline;
+  VertexId inline_[kInline];
+};
+
 /// One augmenting path, stored as its vertex sequence v0..vL (L odd edges,
 /// alternation starting and ending with a non-matching edge). Only the
 /// non-matching edges need to exist in the searched edge set — the matching
 /// edges are carried by M itself, which is what lets a machine discover a
 /// path inside its shard against a broadcast matching.
 struct AugmentingPath {
-  std::vector<VertexId> vertices;
+  PathVertices vertices;
 
   std::size_t length() const { return vertices.size() - 1; }  // edges
   /// Message cost in words: one vertex id per path vertex.
@@ -86,10 +191,14 @@ bool has_augmenting_path(EdgeSpan edges, const Matching& matching,
 /// alternate against `matching`. Does NOT check edge membership — pass
 /// `edges` to also require every non-matching hop to exist there (tests use
 /// this; the combiner trusts its machines and only re-checks disjointness).
+/// With `scratch`, the simplicity check runs on epoch-stamped marks; without
+/// it, on a pairwise scan — both allocation-free, same verdicts.
 bool is_valid_augmenting_path(const AugmentingPath& path,
-                              const Matching& matching);
+                              const Matching& matching,
+                              MachineScratch* scratch = nullptr);
 bool is_valid_augmenting_path(const AugmentingPath& path,
-                              const Matching& matching, EdgeSpan edges);
+                              const Matching& matching, EdgeSpan edges,
+                              MachineScratch* scratch = nullptr);
 
 /// Flips the path's symmetric difference into `matching` (|M| grows by one).
 /// Precondition: is_valid_augmenting_path(path, matching).

@@ -16,6 +16,7 @@ struct HkScratch {
   std::vector<VertexId> mate;
   std::vector<VertexId> dist;
   std::vector<VertexId> queue;
+  std::vector<VertexId> active;  // left vertices with degree > 0
 };
 
 }  // namespace
@@ -34,15 +35,29 @@ void hopcroft_karp_into(Matching& out, const Graph& g,
   std::fill(hk.mate.begin(), hk.mate.end(), kInvalidVertex);
   hk.queue.clear();
   workspace_detail::reserved(hk.queue, nL, stats);
-  std::vector<VertexId>& mate = hk.mate;
-  std::vector<VertexId>& dist = hk.dist;
+  VertexId* const mate = hk.mate.data();
+  VertexId* const dist = hk.dist.data();
   std::vector<VertexId>& queue = hk.queue;
+  const std::size_t* const goff = g.offsets_data();
+  const VertexId* const gadj = g.adjacency_data();
+
+  // Active-left list, built once per solve: an isolated left vertex can
+  // never be matched and its BFS/DFS visits are no-ops (it scans an empty
+  // row and writes dist entries nothing reads), so skipping it per phase is
+  // result-identical. On a random O(m/k)-size shard most of the left side
+  // is isolated, which turns the per-phase O(nL) sweeps into O(active).
+  hk.active.clear();
+  workspace_detail::reserved(hk.active, nL, stats);
+  for (VertexId u = 0; u < nL; ++u) {
+    if (goff[u + 1] > goff[u]) hk.active.push_back(u);
+  }
+  const std::vector<VertexId>& active = hk.active;
 
   // BFS layers from unmatched left vertices; returns true if some unmatched
   // right vertex is reachable (i.e. an augmenting path exists).
   auto bfs = [&]() -> bool {
     queue.clear();
-    for (VertexId u = 0; u < nL; ++u) {
+    for (const VertexId u : active) {
       if (mate[u] == kInvalidVertex) {
         dist[u] = 0;
         queue.push_back(u);
@@ -53,8 +68,9 @@ void hopcroft_karp_into(Matching& out, const Graph& g,
     bool found = false;
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const VertexId u = queue[head];
-      for (VertexId v : g.neighbors(u)) {
-        const VertexId next = mate[v];
+      const std::size_t row_end = goff[u + 1];
+      for (std::size_t i = goff[u]; i < row_end; ++i) {
+        const VertexId next = mate[gadj[i]];
         if (next == kInvalidVertex) {
           found = true;
         } else if (dist[next] == kInf) {
@@ -68,7 +84,9 @@ void hopcroft_karp_into(Matching& out, const Graph& g,
 
   // DFS along layered edges, flipping matched/unmatched status on success.
   auto dfs = [&](auto&& self, VertexId u) -> bool {
-    for (VertexId v : g.neighbors(u)) {
+    const std::size_t row_end = goff[u + 1];
+    for (std::size_t i = goff[u]; i < row_end; ++i) {
+      const VertexId v = gadj[i];
       const VertexId next = mate[v];
       if (next == kInvalidVertex ||
           (dist[next] == dist[u] + 1 && self(self, next))) {
@@ -82,7 +100,7 @@ void hopcroft_karp_into(Matching& out, const Graph& g,
   };
 
   while (bfs()) {
-    for (VertexId u = 0; u < nL; ++u) {
+    for (const VertexId u : active) {
       if (mate[u] == kInvalidVertex) {
         dfs(dfs, u);
       }
@@ -90,7 +108,7 @@ void hopcroft_karp_into(Matching& out, const Graph& g,
   }
 
   out.reset(n);
-  for (VertexId u = 0; u < nL; ++u) {
+  for (const VertexId u : active) {
     if (mate[u] != kInvalidVertex) out.match(u, mate[u]);
   }
 }

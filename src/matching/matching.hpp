@@ -28,6 +28,11 @@ class Matching {
   bool is_matched(VertexId v) const { return mate_[v] != kInvalidVertex; }
   VertexId mate(VertexId v) const { return mate_[v]; }
 
+  /// Flat view of the mate array (size num_vertices()) for hot search loops
+  /// that hoist it into a register once instead of re-entering the
+  /// accessors per probe. Read-only; kInvalidVertex marks unmatched slots.
+  const VertexId* mate_data() const { return mate_.data(); }
+
   /// Re-initializes to the empty matching over [0, num_vertices), keeping
   /// the mate array's capacity — the reuse primitive that lets solvers and
   /// round-combiners recycle one Matching instead of reconstructing it.

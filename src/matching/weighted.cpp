@@ -29,8 +29,14 @@ double matching_weight(const Matching& m, const WeightedEdgeList& weights) {
 Matching greedy_weighted_matching(const WeightedEdgeList& wedges) {
   std::vector<std::size_t> idx(wedges.edges.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    return wedges.edges[a].weight > wedges.edges[b].weight;
+  // Plain sort with an index tie-break (the greedy.hpp idiom): same order a
+  // stable_sort by weight produces, without stable_sort's temp-buffer
+  // allocation.
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    const double wa = wedges.edges[a].weight;
+    const double wb = wedges.edges[b].weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
   });
   Matching m(wedges.num_vertices);
   for (std::size_t i : idx) {

@@ -32,11 +32,26 @@ struct AugmentingRoundFold {
   const AugmentingRoundsConfig& aug;
   bool& certified;
   VertexId num_vertices;
-  std::vector<const AugmentingPath*> candidates;
+  /// Staged candidate: the first two vertex ids packed into one 64-bit sort
+  /// key next to the path pointer. Canonicalized paths have >= 2 vertices
+  /// and the key order is a prefix of canonical_less, so sorting by (key,
+  /// full compare on ties) is the same order with almost every comparison
+  /// resolved on one integer instead of two pointer-chased vectors.
+  struct Candidate {
+    std::uint64_t key;
+    const AugmentingPath* path;
+  };
+  std::vector<Candidate> candidates;
+
+  static std::uint64_t key_of(const AugmentingPath& p) {
+    return (static_cast<std::uint64_t>(p.vertices[0]) << 32) | p.vertices[1];
+  }
 
   void absorb(std::vector<AugmentingPath>& machine_paths,
               std::size_t /*machine*/, MpcRoundContext& /*ctx*/) {
-    for (const AugmentingPath& p : machine_paths) candidates.push_back(&p);
+    for (const AugmentingPath& p : machine_paths) {
+      candidates.push_back({key_of(p), &p});
+    }
   }
 
   EdgeList finish(std::vector<std::vector<AugmentingPath>>& /*summaries*/,
@@ -52,15 +67,17 @@ struct AugmentingRoundFold {
     // vertex-disjoint from every previously applied one, so it is still
     // augmenting for the updated M.
     std::sort(candidates.begin(), candidates.end(),
-              [](const AugmentingPath* a, const AugmentingPath* b) {
-                return canonical_less(*a, *b);
+              [](const Candidate& a, const Candidate& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return canonical_less(*a.path, *b.path);
               });
-    EpochMarks& touched =
-        ctx.coordinator_scratch().vertex_marks(num_vertices);
+    const EpochMarks::View touched =
+        ctx.coordinator_scratch().vertex_marks(num_vertices).view();
     std::size_t applied = 0;
-    for (const AugmentingPath* p : candidates) {
+    for (const Candidate& c : candidates) {
+      const AugmentingPath* p = c.path;
       bool conflict = false;
-      for (VertexId v : p->vertices) conflict = conflict || touched.test(v);
+      for (VertexId v : p->vertices) conflict |= touched.test(v);
       if (conflict) continue;
       for (VertexId v : p->vertices) touched.set(v);
       apply_augmenting_path(matched, *p);

@@ -119,24 +119,69 @@ class ShardedPartition {
         std::array<std::size_t, 256> local_counts{};
         std::uint64_t bits = 0;
         int lanes_left = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          std::uint32_t d;
-          for (;;) {
+        if (reject_below == 0) {
+          // Power-of-two k: no lane can be rejected, so every u64 maps to
+          // exactly four consecutive edges. The quad unroll keeps the four
+          // independent mul/shift/store chains off the loop-carried edge
+          // index, which the general pump below cannot avoid. Refills still
+          // happen every fourth lane in order, so destinations — and the
+          // arena layout — stay byte-identical to the rejection loop.
+          std::size_t i = begin;
+          for (; i + 4 <= end; i += 4) {
+            const std::uint64_t q = brng.next_u64();
+            const auto d0 = static_cast<std::uint8_t>(
+                (static_cast<std::uint32_t>(q & 0xFFFFu) * kk) >> 16);
+            const auto d1 = static_cast<std::uint8_t>(
+                (static_cast<std::uint32_t>((q >> 16) & 0xFFFFu) * kk) >> 16);
+            const auto d2 = static_cast<std::uint8_t>(
+                (static_cast<std::uint32_t>((q >> 32) & 0xFFFFu) * kk) >> 16);
+            const auto d3 = static_cast<std::uint8_t>(
+                (static_cast<std::uint32_t>(q >> 48) * kk) >> 16);
+            dest8[i] = d0;
+            dest8[i + 1] = d1;
+            dest8[i + 2] = d2;
+            dest8[i + 3] = d3;
+            ++local_counts[d0];
+            ++local_counts[d1];
+            ++local_counts[d2];
+            ++local_counts[d3];
+          }
+          if (i < end) {
+            std::uint64_t q = brng.next_u64();
+            for (; i < end; ++i, q >>= 16) {
+              const auto d = static_cast<std::uint8_t>(
+                  (static_cast<std::uint32_t>(q & 0xFFFFu) * kk) >> 16);
+              dest8[i] = d;
+              ++local_counts[d];
+            }
+          }
+        } else {
+          // Branchless lane pump: every inner iteration consumes exactly
+          // one lane; an accepted lane advances the edge index and bumps
+          // its tally, a rejected one re-writes the same dest slot
+          // (overwritten by the next lane) and advances nothing. Lane
+          // consumption and refill order are identical to the per-edge
+          // rejection loop this replaces, so destinations stay
+          // byte-identical.
+          std::size_t i = begin;
+          while (i < end) {
             if (lanes_left == 0) {
               bits = brng.next_u64();
               lanes_left = 4;
             }
-            const auto lane = static_cast<std::uint32_t>(bits & 0xFFFFu);
-            bits >>= 16;
-            --lanes_left;
-            const std::uint32_t prod = lane * kk;
-            if ((prod & 0xFFFFu) >= reject_below) {
-              d = prod >> 16;
-              break;
-            }
+            do {
+              const auto lane = static_cast<std::uint32_t>(bits & 0xFFFFu);
+              bits >>= 16;
+              --lanes_left;
+              const std::uint32_t prod = lane * kk;
+              const std::uint32_t d = prod >> 16;
+              const std::size_t ok =
+                  static_cast<std::size_t>((prod & 0xFFFFu) >= reject_below);
+              dest8[i] = static_cast<std::uint8_t>(d);
+              local_counts[d] += ok;
+              i += ok;
+            } while (lanes_left != 0 && i < end);
           }
-          dest8[i] = static_cast<std::uint8_t>(d);
-          ++local_counts[d];
         }
         for (std::size_t j = 0; j < k; ++j) batch_counts[j] = local_counts[j];
       } else {

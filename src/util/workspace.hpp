@@ -32,7 +32,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <type_traits>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -63,6 +65,45 @@ struct WorkspaceCounters {
 
 namespace workspace_detail {
 
+/// Allocator adaptor that default-initializes on value-less construct: for
+/// trivial element types, vector::resize stops value-initializing (no
+/// memset over memory the caller overwrites anyway). Only for buffers whose
+/// every element is written before it is read — the cold-start cost of a
+/// workspace is otherwise dominated by zeroing pages it is about to fill.
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace workspace_detail
+
+/// Scratch vector: identical to std::vector except that resize() leaves new
+/// trivial elements uninitialized. The raw-pointer views hot loops take
+/// (data()) are unaffected by the allocator parameter.
+template <typename T>
+using ScratchVec = std::vector<T, workspace_detail::DefaultInitAllocator<T>>;
+
+namespace workspace_detail {
+
 /// Ensures capacity >= n, recording real capacity growth in `stats`,
 /// without touching the size — for queue-style buffers that clear() and
 /// push. Growth is geometric (at least doubling) with 25% + 64-slot
@@ -71,9 +112,9 @@ namespace workspace_detail {
 /// round, with relative variance ~1/sqrt(shard) that the constant floor
 /// covers on small shards — land inside the slack instead of growing by a
 /// few percent each round, so the steady state really is allocation-free.
-template <typename T>
-std::vector<T>& reserved(std::vector<T>& v, std::size_t n,
-                         WorkspaceStats* stats) {
+template <typename T, typename Alloc>
+std::vector<T, Alloc>& reserved(std::vector<T, Alloc>& v, std::size_t n,
+                                WorkspaceStats* stats) {
   if (v.capacity() < n) {
     const std::size_t target = std::max(n + n / 4 + 64, v.capacity() * 2);
     if (stats != nullptr) {
@@ -88,8 +129,9 @@ std::vector<T>& reserved(std::vector<T>& v, std::size_t n,
 /// the first min(old_size, n) elements is preserved; anything beyond is
 /// value-initialized by vector::resize. Callers treat the result as
 /// uninitialized scratch unless they filled it themselves.
-template <typename T>
-std::vector<T>& sized(std::vector<T>& v, std::size_t n, WorkspaceStats* stats) {
+template <typename T, typename Alloc>
+std::vector<T, Alloc>& sized(std::vector<T, Alloc>& v, std::size_t n,
+                             WorkspaceStats* stats) {
   reserved(v, n, stats);
   v.resize(n);
   return v;
@@ -128,6 +170,24 @@ class EpochMarks {
     RCC_DCHECK(v < stamps_.size());
     return stamps_[v] == epoch_;
   }
+
+  /// Flat view for hot sweep loops: the stamp pointer and the live epoch
+  /// captured into locals, so a tight loop keeps the epoch in a register
+  /// instead of reloading the member after every store (stores through the
+  /// stamp pointer may alias the EpochMarks object itself, which otherwise
+  /// forces the reload). test() compiles to a single compare — accumulate
+  /// its result arithmetically (`hit |= view.test(v)`) to keep conflict
+  /// sweeps branchless. The view is invalidated by reset() (epoch bump or
+  /// growth); take it after the final reset of the call.
+  struct View {
+    std::uint32_t* stamps;
+    std::uint32_t epoch;
+
+    bool test(std::size_t v) const { return stamps[v] == epoch; }
+    void set(std::size_t v) const { stamps[v] = epoch; }
+    void unset(std::size_t v) const { stamps[v] = 0; }
+  };
+  View view() { return {stamps_.data(), epoch_}; }
 
  private:
   void bump() {

@@ -17,6 +17,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/generators.hpp"
+#include "graph/incremental_csr.hpp"
 #include "matching/augmenting_paths.hpp"
 #include "matching/greedy.hpp"
 #include "matching/matching.hpp"
@@ -149,6 +150,66 @@ TEST(AllocationFree, AugmentingEmptinessTestOnWarmScratch) {
   const std::size_t after = allocations();
   EXPECT_FALSE(any);
   EXPECT_EQ(after, before) << "warm augmenting-path emptiness test allocated";
+}
+
+TEST(AllocationFree, IncrementalCsrWarmRoundsAreAllocationFree) {
+  // Every transition of the CSR state machine on warm buffers — signature
+  // reuse, counting-sort rebuild of a not-larger graph, and in-place
+  // compaction — must be allocation-free. This is the warm-round budget the
+  // broadcast-and-filter protocol relies on: after round 0 sizes the
+  // buffers, the survivor graphs only shrink.
+  Rng gen(16);
+  const EdgeList graph = gnp(400, 8.0 / 400, gen);
+  EdgeList filtered(graph.num_vertices());
+  const auto keep = [](VertexId v) { return v % 3 != 0; };
+  filtered.assign_filtered(
+      graph, [&](const Edge& e) { return keep(e.u) && keep(e.v); });
+
+  IncrementalCsr csr;
+  csr.build(graph);  // warm: buffers sized for the full graph
+
+  std::size_t reuse_allocs, rebuild_allocs, compact_allocs;
+  {
+    const std::size_t before = allocations();
+    (void)csr.ensure(graph);  // same multiset: reuse
+    reuse_allocs = allocations() - before;
+  }
+  {
+    const std::size_t before = allocations();
+    csr.compact(keep);  // in-place: writes through existing arrays
+    compact_allocs = allocations() - before;
+  }
+  {
+    const std::size_t before = allocations();
+    (void)csr.ensure(graph);  // full rebuild into warm (full-size) buffers
+    rebuild_allocs = allocations() - before;
+  }
+  EXPECT_EQ(reuse_allocs, 0u) << "CSR signature reuse allocated";
+  EXPECT_EQ(compact_allocs, 0u) << "CSR in-place compaction allocated";
+  EXPECT_EQ(rebuild_allocs, 0u) << "warm CSR counting-sort rebuild allocated";
+  EXPECT_EQ(csr.reuses(), 1u);
+  EXPECT_EQ(csr.rebuilds(), 2u);
+  EXPECT_EQ(csr.compactions(), 1u);
+
+  // The same contract, end to end through the searcher: alternating the
+  // full graph and the survivor graph through one warm scratch must stay
+  // allocation-free on both the reuse and rebuild paths. (Both searches run
+  // against maximum matchings, so no paths — and no result vectors — are
+  // produced inside the measured window.)
+  const Matching max_full = maximum_matching(graph);
+  const Matching max_filtered = maximum_matching(filtered);
+  MachineScratch scratch;
+  (void)find_augmenting_paths(graph, max_full, 9, &scratch);
+  (void)find_augmenting_paths(filtered, max_filtered, 9, &scratch);
+
+  const std::size_t before = allocations();
+  bool any = has_augmenting_path(graph, max_full, 9, &scratch);  // rebuild
+  any |= has_augmenting_path(graph, max_full, 9, &scratch);      // reuse
+  any |= has_augmenting_path(filtered, max_filtered, 9, &scratch);
+  const std::size_t searcher_allocs = allocations() - before;
+  EXPECT_FALSE(any);
+  EXPECT_EQ(searcher_allocs, 0u) << "warm searcher CSR round allocated";
+  EXPECT_GE(scratch.state<IncrementalCsr>().reuses(), 1u);
 }
 
 TEST(AllocationFree, MaximumMatchingIntoOnWarmScratch) {

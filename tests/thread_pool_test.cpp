@@ -3,8 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "graph/generators.hpp"
+#include "mpc/augmenting_rounds.hpp"
+#include "mpc/coreset_mpc.hpp"
 
 namespace rcc {
 namespace {
@@ -38,6 +45,73 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     pool.wait_idle();
     EXPECT_EQ(counter.load(), (batch + 1) * 20);
   }
+}
+
+TEST(ThreadPool, ShardedQueuesRunEveryTaskExactlyOnceAcrossSizes) {
+  // The sharded submit path round-robins tasks over per-worker deques; no
+  // pool shape may lose or duplicate a task.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kTasks = 4096;
+    std::vector<std::atomic<int>> slots(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([&slots, i] { slots[i].fetch_add(1); });
+    }
+    pool.wait_idle();
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(slots[i].load(), 1) << "threads=" << threads << " task " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, WorkStealingDrainsUnevenLoad) {
+  // One shard gets a slow task; round-robin then lands short tasks on every
+  // shard including the blocked one. Idle workers must steal those instead
+  // of waiting, so the whole batch drains even while one worker is stuck.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 400; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 401);
+}
+
+TEST(ThreadPool, SubmissionsFromExternalThreadsAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 500; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1500);
+}
+
+TEST(ThreadPool, AffinityPinnedPoolRunsIdentically) {
+  // pin_affinity is a placement hint only: best-effort, Linux-only, and
+  // invisible in results. The pinned pool must pass the same exactly-once
+  // contract as the default one.
+  ThreadPoolOptions options;
+  options.pin_affinity = true;
+  ThreadPool pool(4, options);
+  EXPECT_EQ(pool.size(), 4u);
+  const std::size_t n = 5000;
+  std::vector<std::uint64_t> values(n);
+  parallel_for(pool, n, [&values](std::size_t i) { values[i] = i; });
+  const auto sum = std::accumulate(values.begin(), values.end(),
+                                   std::uint64_t{0});
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
 }
 
 TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
@@ -124,6 +198,74 @@ TEST(CompletionQueue, PushHappensBeforePop) {
     EXPECT_EQ(payload[id], id + 1);
   }
   pool.wait_idle();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: the simulators' results are a function of (input,
+// seed), never of the pool shape. Runs across thread counts, with and
+// without affinity pinning, and with no pool at all must be bit-identical.
+
+TEST(PoolShapeDifferential, MpcResultsIdenticalAcrossThreadCountsAndAffinity) {
+  Rng gen(42);
+  const EdgeList general = gnp(500, 8.0 / 500, gen);
+  const EdgeList bipartite = random_bipartite(120, 150, 0.06, gen);
+
+  MpcEngineConfig config;
+  config.mpc.num_machines = 8;
+  config.mpc.memory_words = std::uint64_t{1} << 40;
+  config.max_rounds = 3;
+  AugmentingRoundsConfig aug;
+  aug.max_path_length = 5;
+
+  Rng base_rng(7);
+  const AugmentingMpcResult base_aug = run_matching_rounds_augmenting(
+      general, config, aug, 0, base_rng);  // sequential: no pool
+  Rng base_rng2(7);
+  const CoresetMpcMatchingResult base_coreset =
+      coreset_mpc_matching_rounds(bipartite, config, 120, base_rng2);
+
+  struct Shape {
+    std::size_t threads;
+    bool pin;
+  };
+  for (const Shape shape : {Shape{1, false}, Shape{2, false}, Shape{8, false},
+                            Shape{8, true}}) {
+    ThreadPoolOptions options;
+    options.pin_affinity = shape.pin;
+    ThreadPool pool(shape.threads, options);
+    const std::string what = "threads=" + std::to_string(shape.threads) +
+                             " pin=" + std::to_string(shape.pin);
+
+    Rng rng(7);
+    const AugmentingMpcResult got = run_matching_rounds_augmenting(
+        general, config, aug, 0, rng, &pool);
+    ASSERT_EQ(got.matching.size(), base_aug.matching.size()) << what;
+    for (VertexId v = 0; v < general.num_vertices(); ++v) {
+      ASSERT_EQ(got.matching.mate(v), base_aug.matching.mate(v))
+          << what << " vertex " << v;
+    }
+    EXPECT_EQ(got.rounds, base_aug.rounds) << what;
+    EXPECT_EQ(got.certified, base_aug.certified) << what;
+    EXPECT_EQ(got.total_augmentations, base_aug.total_augmentations) << what;
+    EXPECT_EQ(got.stats.total_comm_words, base_aug.stats.total_comm_words)
+        << what;
+
+    Rng rng2(7);
+    const CoresetMpcMatchingResult got_coreset =
+        coreset_mpc_matching_rounds(bipartite, config, 120, rng2, &pool);
+    ASSERT_EQ(got_coreset.matching.size(), base_coreset.matching.size())
+        << what;
+    for (VertexId v = 0; v < bipartite.num_vertices(); ++v) {
+      ASSERT_EQ(got_coreset.matching.mate(v), base_coreset.matching.mate(v))
+          << what << " vertex " << v;
+    }
+    EXPECT_EQ(got_coreset.stats.engine_rounds,
+              base_coreset.stats.engine_rounds)
+        << what;
+    EXPECT_EQ(got_coreset.stats.total_comm_words,
+              base_coreset.stats.total_comm_words)
+        << what;
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "coreset/kernel.hpp"
 #include "coreset/weighted_coreset.hpp"
 #include "graph/generators.hpp"
+#include "graph/incremental_csr.hpp"
 #include "matching/augmenting_paths.hpp"
 #include "matching/blossom.hpp"
 #include "matching/greedy.hpp"
@@ -549,6 +550,159 @@ TEST(WorkspaceDifferential, ExecutorResultsIndependentOfWorkspaceReuse) {
                   internal.stats.total_comm_words)
             << inst.name;
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental CSR: the counting-sort build must be bit-identical to the
+// sort-based reference it replaced, in-place compaction must be bit-identical
+// to a fresh build over the filtered edge list, and the signature must let
+// ensure() reuse in exactly the cases the contract promises.
+
+/// Reference adjacency exactly as the pre-PR6 hot path had it: counting
+/// scatter into a flat CSR followed by a per-row std::sort.
+struct ReferenceCsr {
+  std::vector<std::size_t> offsets;
+  std::vector<VertexId> neighbors;
+
+  explicit ReferenceCsr(EdgeSpan edges) {
+    const std::size_t n = edges.num_vertices();
+    offsets.assign(n + 1, 0);
+    for (const Edge& e : edges) {
+      ++offsets[e.u + 1];
+      ++offsets[e.v + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    neighbors.resize(offsets[n]);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      neighbors[cursor[e.u]++] = e.v;
+      neighbors[cursor[e.v]++] = e.u;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    }
+  }
+};
+
+void expect_csr_equals_reference(const IncrementalCsr& csr,
+                                 const ReferenceCsr& ref,
+                                 const std::string& what) {
+  const std::size_t n = ref.offsets.size() - 1;
+  ASSERT_EQ(csr.num_vertices(), n) << what;
+  ASSERT_EQ(csr.num_arcs(), ref.neighbors.size()) << what;
+  for (std::size_t v = 0; v <= n; ++v) {
+    ASSERT_EQ(csr.offsets_data()[v], ref.offsets[v]) << what << " offset " << v;
+  }
+  for (std::size_t i = 0; i < ref.neighbors.size(); ++i) {
+    ASSERT_EQ(csr.arcs_data()[i], ref.neighbors[i]) << what << " arc " << i;
+  }
+}
+
+TEST(IncrementalCsr, CountingSortBuildMatchesSortBasedReference) {
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      IncrementalCsr csr;
+      csr.build(inst.edges);
+      expect_csr_equals_reference(csr, ReferenceCsr(inst.edges), inst.name);
+    }
+  }
+}
+
+TEST(IncrementalCsr, EnsureReusesOnSameMultisetAndRebuildsOnChange) {
+  Rng rng(7);
+  EdgeList edges = gnp(200, 0.05, rng);
+  IncrementalCsr csr;
+  EXPECT_FALSE(csr.ensure(edges));  // cold: rebuild
+  EXPECT_TRUE(csr.ensure(edges));   // identical span: reuse
+  // Same multiset, permuted order: the sorted CSR is a function of the
+  // multiset, so this must reuse too.
+  EdgeList shuffled(edges.num_vertices());
+  std::vector<Edge> perm(edges.begin(), edges.end());
+  std::reverse(perm.begin(), perm.end());
+  for (const Edge& e : perm) shuffled.add(e);
+  EXPECT_TRUE(csr.ensure(shuffled));
+  // Different edge set: rebuild, and the result matches a cold build.
+  EdgeList pruned(edges.num_vertices());
+  for (std::size_t i = 0; i + 1 < edges.num_edges(); ++i) {
+    pruned.add(edges.begin()[i]);
+  }
+  EXPECT_FALSE(csr.ensure(pruned));
+  expect_csr_equals_reference(csr, ReferenceCsr(pruned), "pruned");
+  EXPECT_EQ(csr.rebuilds(), 2u);
+  EXPECT_EQ(csr.reuses(), 2u);
+}
+
+TEST(IncrementalCsr, CompactionMatchesRebuildOverSurvivorGrid) {
+  // Survivor chain mirroring the broadcast-and-filter protocol: each step
+  // drops the vertices matched by a greedy pass (plus a modulus mask for
+  // variety), compacts the cached CSR in place, and checks it against a
+  // fresh counting-sort build over the independently filtered edge list.
+  for (std::uint64_t seed : kSeeds) {
+    for (const Instance& inst : instance_grid(seed)) {
+      IncrementalCsr csr;
+      csr.build(inst.edges);
+      EdgeList survivors(inst.edges.num_vertices());
+      survivors.assign(inst.edges);
+      for (int step = 0; step < 3 && survivors.num_edges() > 0; ++step) {
+        Rng greedy_rng(seed + static_cast<std::uint64_t>(step));
+        const Matching greedy =
+            greedy_maximal_matching(survivors, GreedyOrder::kRandom, greedy_rng);
+        const VertexId modulus = static_cast<VertexId>(5 + step);
+        const auto keep = [&](VertexId v) {
+          return !greedy.is_matched(v) || v % modulus == 0;
+        };
+        csr.compact(keep);
+        EdgeList filtered(survivors.num_vertices());
+        filtered.assign_filtered(
+            survivors, [&](const Edge& e) { return keep(e.u) && keep(e.v); });
+        expect_csr_equals_reference(csr, ReferenceCsr(filtered),
+                                    inst.name + " step " +
+                                        std::to_string(step));
+        // The recomputed signature must make the compacted CSR
+        // indistinguishable from a fresh build: ensure() over the filtered
+        // list reuses instead of rebuilding.
+        const std::uint64_t reuses_before = csr.reuses();
+        EXPECT_TRUE(csr.ensure(filtered)) << inst.name << " step " << step;
+        EXPECT_EQ(csr.reuses(), reuses_before + 1);
+        survivors.assign(filtered);
+      }
+      EXPECT_GE(csr.compactions(), 1u);
+    }
+  }
+}
+
+TEST(IncrementalCsr, SearchResultsIdenticalAcrossColdAndWarmScratch) {
+  // The augmenting searcher routes its adjacency through the workspace CSR;
+  // alternating edge sets through one warm scratch (forcing the
+  // rebuild/reuse state machine through every transition) must give the
+  // same paths as fresh cold scratches.
+  for (std::uint64_t seed : kSeeds) {
+    const std::vector<Instance> grid = instance_grid(seed);
+    MachineScratch warm;
+    for (const Instance& inst : grid) {
+      Rng rng(seed);
+      const Matching greedy =
+          greedy_maximal_matching(inst.edges, GreedyOrder::kRandom, rng);
+      // First warm search rebuilds (the scratch CSR still holds the
+      // previous instance), the second reuses; both must equal a cold run.
+      const std::uint64_t reuses_before =
+          warm.state<IncrementalCsr>().reuses();
+      for (int pass = 0; pass < 2; ++pass) {
+        const auto warm_paths =
+            find_augmenting_paths(inst.edges, greedy, 5, &warm);
+        const auto cold_paths = find_augmenting_paths(inst.edges, greedy, 5);
+        ASSERT_EQ(warm_paths.size(), cold_paths.size())
+            << inst.name << " pass " << pass;
+        for (std::size_t i = 0; i < warm_paths.size(); ++i) {
+          EXPECT_EQ(warm_paths[i].vertices, cold_paths[i].vertices)
+              << inst.name << " pass " << pass;
+        }
+      }
+      EXPECT_EQ(warm.state<IncrementalCsr>().reuses(), reuses_before + 1)
+          << inst.name;
     }
   }
 }
