@@ -20,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "mpc/augmenting_rounds.hpp"
 #include "mpc/coreset_mpc.hpp"
+#include "mpc/edcs_rounds.hpp"
 #include "mpc/filtering_mpc.hpp"
 #include "mpc/mpc_engine.hpp"
 #include "partition/sharded_partition.hpp"
@@ -74,6 +75,7 @@ struct Row {
   std::size_t engine_rounds = 0;  // rounds actually run
   std::size_t processed_edges = 0;  // sum of per-round active edge sets
   std::size_t solution = 0;
+  std::uint64_t comm_words = 0;  // ledger-charged communication (0 = n/a)
   double seconds_median = 0.0;
   double seconds_min = 0.0;
   double edges_per_sec = 0.0;
@@ -83,6 +85,7 @@ struct RunOutcome {
   std::size_t engine_rounds = 1;
   std::size_t processed_edges = 0;
   std::size_t solution = 0;
+  std::uint64_t comm_words = 0;
 };
 
 MpcEngineConfig engine_config(const Family& f, std::size_t k,
@@ -99,6 +102,7 @@ MpcEngineConfig engine_config(const Family& f, std::size_t k,
 RunOutcome processed_of(const MpcExecutionStats& stats) {
   RunOutcome out;
   out.engine_rounds = stats.engine_rounds;
+  out.comm_words = stats.total_comm_words;
   for (const auto& r : stats.per_round) out.processed_edges += r.active_edges;
   return out;
 }
@@ -130,6 +134,7 @@ Row measure(const std::string& scenario, const Family& f, std::size_t k,
   row.engine_rounds = outcome.engine_rounds;
   row.processed_edges = outcome.processed_edges;
   row.solution = outcome.solution;
+  row.comm_words = outcome.comm_words;
   row.edges_per_sec =
       row.seconds_median > 0.0
           ? static_cast<double>(std::max(row.processed_edges, row.m)) /
@@ -154,11 +159,12 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         out,
         "    {\"scenario\": \"%s\", \"family\": \"%s\", \"k\": %zu, "
         "\"rounds\": %zu, \"n\": %u, \"m\": %zu, \"engine_rounds\": %zu, "
-        "\"processed_edges\": %zu, \"solution\": %zu, "
+        "\"processed_edges\": %zu, \"solution\": %zu, \"comm_words\": %llu, "
         "\"seconds_median\": %.6f, \"seconds_min\": %.6f, "
         "\"edges_per_sec\": %.1f}%s\n",
         r.scenario.c_str(), r.family.c_str(), r.k, r.rounds, r.n, r.m,
-        r.engine_rounds, r.processed_edges, r.solution, r.seconds_median,
+        r.engine_rounds, r.processed_edges, r.solution,
+        static_cast<unsigned long long>(r.comm_words), r.seconds_median,
         r.seconds_min, r.edges_per_sec, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -262,6 +268,29 @@ int run_suite(int argc, char** argv) {
             aug.max_path_length = 5;
             const auto result = run_matching_rounds_augmenting(
                 f.edges, engine_config(f, 8, 5), aug, f.left_size, rng, &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.matching.size();
+            return out;
+          }));
+    }
+
+    // EDCS round-combiner at three beta points (lambda = max(1, beta/8)).
+    // Together with comm_words these rows trace the quality-vs-communication
+    // frontier: larger beta ships more words per round and lands a larger
+    // matching. Distinct scenario names keep compare_bench's
+    // (scenario, family, k, rounds) row keys collision-free.
+    for (const std::size_t beta :
+         {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+      const std::string scenario = "edcs_b" + std::to_string(beta);
+      if (!wanted(scenario, f)) continue;
+      rows.push_back(measure(
+          scenario, f, 8, 5, setup.reps, setup.seed, [&, beta](Rng& rng) {
+            EdcsRoundsConfig edcs;
+            edcs.edcs.beta = beta;
+            edcs.edcs.lambda = std::max<std::size_t>(1, beta / 8);
+            const auto result = run_matching_rounds_edcs(
+                f.edges, engine_config(f, 8, 5), edcs, f.left_size, rng,
+                &pool);
             RunOutcome out = processed_of(result.stats);
             out.solution = result.matching.size();
             return out;

@@ -1,0 +1,141 @@
+#include "matching/edcs.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/edge.hpp"
+
+namespace rcc {
+
+namespace {
+
+void build_into(EdgeList& out, EdgeSpan piece, const EdcsParams& params,
+                EdcsBuilder& b, WorkspaceStats* stats) {
+  out.reset(piece.num_vertices());
+  if (piece.empty()) return;
+  const VertexId n = piece.num_vertices();
+
+  // Distinct pairs in canonical (u, v) order off the CSR's sorted rows:
+  // duplicates are row-adjacent, so dedup is one comparison per arc, and the
+  // enumeration order — hence the whole build — depends only on the edge
+  // multiset, never on the piece's arrival order.
+  b.csr.ensure(piece, stats);
+  const std::uint32_t* off = b.csr.offsets_data();
+  const VertexId* arcs = b.csr.arcs_data();
+  workspace_detail::reserved(b.distinct, piece.num_edges(), stats);
+  b.distinct.clear();
+  for (VertexId u = 0; u < n; ++u) {
+    VertexId prev = kInvalidVertex;
+    for (std::uint32_t i = off[u]; i < off[u + 1]; ++i) {
+      const VertexId v = arcs[i];
+      if (v <= u || v == prev) continue;  // lower half-row or parallel copy
+      prev = v;
+      b.distinct.push_back(Edge{u, v});
+    }
+  }
+  const std::size_t md = b.distinct.size();
+  const Edge* es = b.distinct.data();
+
+  VertexId* deg = workspace_detail::sized(b.deg_h, n, stats).data();
+  std::fill(deg, deg + n, VertexId{0});
+  std::uint8_t* in_h = workspace_detail::sized(b.in_h, md, stats).data();
+  std::fill(in_h, in_h + md, std::uint8_t{0});
+
+  // Local-search fixpoint, Gauss-Seidel over the canonical order: remove an
+  // H-edge whose degree sum exceeds beta, add a non-H-edge whose sum is
+  // below beta - lambda, until a sweep changes nothing — which is exactly
+  // "P1 and P2 both hold". Every flip raises the potential from edcs.hpp by
+  // at least 2 (lambda >= 1), the potential spans O(n * beta^2), and a sweep
+  // either flips something or is the last, so the cap below is unreachable
+  // short of a logic bug.
+  const std::size_t beta = params.beta;
+  const std::size_t low = params.beta - params.lambda;
+  const std::uint64_t max_sweeps =
+      4 * static_cast<std::uint64_t>(n) * beta * beta + 8;
+  std::uint64_t sweeps = 0;
+  bool changed = true;
+  while (changed) {
+    RCC_CHECK(++sweeps <= max_sweeps);
+    changed = false;
+    for (std::size_t i = 0; i < md; ++i) {
+      const VertexId u = es[i].u;
+      const VertexId v = es[i].v;
+      const std::size_t sum = static_cast<std::size_t>(deg[u]) + deg[v];
+      if (in_h[i]) {
+        if (sum > beta) {
+          in_h[i] = 0;
+          --deg[u];
+          --deg[v];
+          changed = true;
+        }
+      } else if (sum < low) {
+        in_h[i] = 1;
+        ++deg[u];
+        ++deg[v];
+        changed = true;
+      }
+    }
+  }
+
+  out.reserve(md);
+  for (std::size_t i = 0; i < md; ++i) {
+    if (in_h[i]) out.add(es[i]);
+  }
+}
+
+}  // namespace
+
+void build_edcs_into(EdgeList& out, EdgeSpan piece, const EdcsParams& params,
+                     MachineScratch* scratch) {
+  params.validate();
+  if (scratch != nullptr) {
+    build_into(out, piece, params, scratch->state<EdcsBuilder>(),
+               scratch->stats());
+    return;
+  }
+  EdcsBuilder local;
+  build_into(out, piece, params, local, nullptr);
+}
+
+EdgeList build_edcs(EdgeSpan piece, const EdcsParams& params,
+                    MachineScratch* scratch) {
+  EdgeList out;
+  build_edcs_into(out, piece, params, scratch);
+  return out;
+}
+
+bool edcs_invariants_hold(EdgeSpan graph, EdgeSpan h,
+                          const EdcsParams& params) {
+  params.validate();
+  const VertexId n = graph.num_vertices();
+  if (h.num_vertices() != n) return false;
+
+  // Degrees over DISTINCT pairs: parallel copies carry no weight in either
+  // invariant (the builder keeps one copy per pair, but the oracle accepts
+  // any representation of the same subgraph).
+  std::unordered_set<Edge, EdgeHash> h_set;
+  std::vector<std::size_t> deg(n, 0);
+  for (const Edge& e : h) {
+    if (e.is_loop()) return false;
+    if (h_set.insert(make_edge(e.u, e.v)).second) {
+      ++deg[e.u];
+      ++deg[e.v];
+    }
+  }
+  std::unordered_set<Edge, EdgeHash> g_set;
+  for (const Edge& e : graph) g_set.insert(make_edge(e.u, e.v));
+  for (const Edge& e : h_set) {
+    if (g_set.count(e) == 0) return false;  // not a subgraph
+  }
+  for (const Edge& e : g_set) {
+    const std::size_t sum = deg[e.u] + deg[e.v];
+    if (h_set.count(e) > 0) {
+      if (sum > params.beta) return false;  // P1
+    } else {
+      if (sum + params.lambda < params.beta) return false;  // P2
+    }
+  }
+  return true;
+}
+
+}  // namespace rcc

@@ -1,0 +1,93 @@
+// Edge-degree-constrained subgraphs (EDCS): the machine summary that beats
+// the maximum-matching coreset's approximation.
+//
+// A subgraph H of G is a (beta, beta - lambda)-EDCS ("Coresets Meet EDCS",
+// arXiv:1711.03076; parameters as in the degree-sum formulation) when
+//
+//   (P1) every edge (u, v) of H      has deg_H(u) + deg_H(v) <= beta, and
+//   (P2) every edge (u, v) of G \ H  has deg_H(u) + deg_H(v) >= beta - lambda.
+//
+// P1 caps the summary at fewer than beta * n / 2 edges; P2 forces H to keep
+// enough edges around every sparse spot that a maximum matching of H is an
+// (almost 3/2)-approximation of the maximum matching of G — and when the
+// machines of the randomized-partition protocol ship EDCSs of their pieces
+// instead of maximum matchings, the union inherits that quality (the
+// almost-3/2 / almost-3 results of arXiv:1711.03076, with the communication
+// side bounded by Kapralov-Maystre-Tardos, arXiv:2011.06481).
+//
+// The builder is the standard local-search fixpoint: sweep the edges in
+// canonical order, remove an H-edge whose degree sum exceeds beta, add a
+// non-H-edge whose degree sum is below beta - lambda, repeat until a sweep
+// changes nothing — at which point both invariants hold by definition. With
+// lambda >= 1 every flip raises the potential
+//   Phi = (2*beta - 1) * sum_v deg_H(v) - 2 * sum_v deg_H(v)^2
+// by at least 2: a removal at degree sum s >= beta + 1 gains 4s - 4*beta - 2,
+// an addition at degree sum s <= beta - lambda - 1 gains 4*beta - 4s - 6 >=
+// 4*lambda - 2. Phi ranges over O(n * beta^2), so the fixpoint terminates
+// after O(n * beta^2) flips.
+//
+// Multigraph semantics: the EDCS is computed on the DISTINCT edge pairs of
+// the piece (parallel copies carry no extra matching or cover value), and
+// the distinct pairs are enumerated off the piece's IncrementalCsr rows —
+// sorted rows make dedup a linear adjacent-skip, and the canonical (u, v)
+// enumeration order makes the result a pure function of the edge multiset:
+// shuffling the piece's edge order cannot change the EDCS, which is what
+// keeps the round-combiner thread-count deterministic for free. All builder
+// state (the CSR, the distinct-edge array, the degree and membership arrays)
+// lives in a MachineScratch state slot, so warm rounds build EDCSs with zero
+// allocations.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/edge_list.hpp"
+#include "graph/incremental_csr.hpp"
+#include "util/types.hpp"
+#include "util/workspace.hpp"
+
+namespace rcc {
+
+class MachineScratch;
+
+/// EDCS degree parameters. Valid when beta >= 2, 1 <= lambda < beta (the
+/// termination argument needs lambda >= 1; beta - lambda >= 1 keeps P2
+/// meaningful). validate() aborts on nonsense instead of looping forever.
+struct EdcsParams {
+  std::size_t beta = 16;
+  std::size_t lambda = 2;
+
+  void validate() const {
+    RCC_CHECK(beta >= 2);
+    RCC_CHECK(lambda >= 1);
+    RCC_CHECK(lambda < beta);
+  }
+};
+
+/// Per-scratch builder state: the piece CSR plus the fixpoint's arrays.
+/// Rides MachineScratch::state<EdcsBuilder>() so every buffer keeps its
+/// high-water capacity across rounds (and across runs on a warm workspace).
+struct EdcsBuilder {
+  IncrementalCsr csr;           // piece adjacency, sorted rows
+  ScratchVec<Edge> distinct;    // distinct pairs, canonical order
+  ScratchVec<VertexId> deg_h;   // deg_H per vertex
+  ScratchVec<std::uint8_t> in_h;  // membership per distinct edge
+};
+
+/// Builds a (beta, beta - lambda)-EDCS of `piece` into `out` (cleared first;
+/// vertex universe copied from the piece). Edges land in canonical sorted
+/// order, one copy per distinct pair. `scratch` (optional) supplies the
+/// persistent EdcsBuilder; without it a call-local builder is used.
+void build_edcs_into(EdgeList& out, EdgeSpan piece, const EdcsParams& params,
+                     MachineScratch* scratch = nullptr);
+
+/// As above, returning a fresh EdgeList.
+EdgeList build_edcs(EdgeSpan piece, const EdcsParams& params,
+                    MachineScratch* scratch = nullptr);
+
+/// Invariant oracle for tests and assertions: true iff `h` is a subgraph of
+/// `graph` (by distinct pairs) satisfying P1 and P2 for the given
+/// parameters. O(n + m) with no randomization; computed in integer
+/// arithmetic throughout.
+bool edcs_invariants_hold(EdgeSpan graph, EdgeSpan h, const EdcsParams& params);
+
+}  // namespace rcc

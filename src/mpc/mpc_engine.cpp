@@ -44,7 +44,17 @@ void add_mpc_engine_flags(Options& options) {
             "(certifies a 1 + 1/(k+1) approximation at the early stop)")
       .flag("mpc-epsilon", "0",
             "augmenting combiner: target (1+eps) approximation; overrides "
-            "--mpc-max-path-length when > 0");
+            "--mpc-max-path-length when > 0")
+      .flag("mpc-edcs-beta", "16",
+            "EDCS combiner: degree-sum cap beta (P1); larger ships more "
+            "edges per machine and lands closer to 3/2")
+      .flag("mpc-edcs-lambda", "2",
+            "EDCS combiner: density slack lambda (P2 threshold beta - "
+            "lambda); 1 <= lambda < beta")
+      .flag("mpc-edcs-finish-maximal", "true",
+            "EDCS combiner: close a round-capped run's matching to "
+            "maximality with one coordinator sweep (keeps the factor-2 "
+            "certificate)");
   add_streaming_flags(options);
 }
 

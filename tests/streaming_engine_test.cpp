@@ -23,6 +23,7 @@
 #include "distributed/weighted_vc_protocol.hpp"
 #include "graph/generators.hpp"
 #include "matching/greedy.hpp"
+#include "mpc/edcs_rounds.hpp"
 #include "util/options.hpp"
 #include "util/thread_pool.hpp"
 
@@ -147,6 +148,99 @@ TEST(StreamingEngine, CanonicalWeightedDriversMatchBarrierSeedForSeed) {
     EXPECT_DOUBLE_EQ(vc_barrier.cover_cost, vc_streamed.cover_cost);
     EXPECT_EQ(vc_barrier.weight_classes, vc_streamed.weight_classes);
     EXPECT_EQ(vc_barrier_rng.next_u64(), vc_stream_rng.next_u64());
+  }
+}
+
+TEST(StreamingEngine, CanonicalEdcsCombinerMatchesBarrierSeedForSeed) {
+  // The EDCS round-combiner through the multi-round executor: canonical
+  // streaming must replay the barrier fold word for word — matched edges,
+  // ledger communication, round count, and memory peaks — pooled and not,
+  // in both the one-round default regime and the degenerate beta = 2 regime
+  // whose survivors force a second engine round.
+  struct Regime {
+    EdgeList edges;
+    EdcsRoundsConfig edcs;
+  };
+  std::vector<Regime> regimes;
+  {
+    Rng gen(21);
+    regimes.push_back({gnp(400, 5.0 / 400, gen), EdcsRoundsConfig{}});
+    EdcsRoundsConfig thin;
+    thin.edcs.beta = 2;
+    thin.edcs.lambda = 1;
+    regimes.push_back({crown_forest(12, 3), thin});
+  }
+  for (const Regime& regime : regimes) {
+    for (std::uint64_t seed : {7u, 22u}) {
+      for (const bool pooled : {false, true}) {
+        ThreadPool pool(4);
+        ThreadPool* p = pooled ? &pool : nullptr;
+        MpcEngineConfig barrier_config;
+        barrier_config.mpc.num_machines = 4;
+        barrier_config.mpc.memory_words = std::uint64_t{1} << 40;
+        barrier_config.max_rounds = 32;
+        MpcEngineConfig stream_config = barrier_config;
+        stream_config.streaming_fold = true;
+
+        Rng barrier_rng(seed);
+        const EdcsMpcResult barrier = run_matching_rounds_edcs(
+            regime.edges, barrier_config, regime.edcs, 0, barrier_rng, p);
+        Rng stream_rng(seed);
+        const EdcsMpcResult streamed = run_matching_rounds_edcs(
+            regime.edges, stream_config, regime.edcs, 0, stream_rng, p);
+
+        EXPECT_EQ(sorted_edges(barrier.matching),
+                  sorted_edges(streamed.matching))
+            << "seed=" << seed << " pooled=" << pooled
+            << " beta=" << regime.edcs.edcs.beta;
+        EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices());
+        EXPECT_EQ(barrier.stats.total_comm_words,
+                  streamed.stats.total_comm_words);
+        EXPECT_EQ(barrier.stats.engine_rounds, streamed.stats.engine_rounds);
+        EXPECT_EQ(barrier.max_memory_words, streamed.max_memory_words);
+        EXPECT_EQ(barrier.stats.round_peak_words,
+                  streamed.stats.round_peak_words);
+        EXPECT_EQ(barrier.certified, streamed.certified);
+        // Same coordinator RNG stream position on exit.
+        EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
+      }
+    }
+  }
+}
+
+TEST(StreamingEngine, ArrivalOrderEdcsKeepsInvariantsAcrossThreadCounts) {
+  // Arrival-order absorbs union the same summaries in a thread-dependent
+  // order; the exact union solve makes the matching SIZE order-independent
+  // even though the edge set may differ, and validity/certification must
+  // hold regardless.
+  for (std::uint64_t seed : {23u, 24u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(300, 5.0 / 300, gen);
+    MpcEngineConfig canonical_config;
+    canonical_config.mpc.num_machines = 4;
+    canonical_config.mpc.memory_words = std::uint64_t{1} << 40;
+    canonical_config.max_rounds = 32;
+    EdcsRoundsConfig edcs;
+    Rng canonical_rng(seed);
+    const EdcsMpcResult canonical = run_matching_rounds_edcs(
+        el, canonical_config, edcs, 0, canonical_rng);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      MpcEngineConfig config = canonical_config;
+      config.streaming_fold = true;
+      config.streaming.order = StreamingOrder::kArrival;
+      Rng rng(seed);
+      const EdcsMpcResult r =
+          run_matching_rounds_edcs(el, config, edcs, 0, rng, &pool);
+      EXPECT_TRUE(r.matching.valid()) << "threads=" << threads;
+      EXPECT_TRUE(r.matching.subset_of(el)) << "threads=" << threads;
+      EXPECT_EQ(r.matching.size(), canonical.matching.size())
+          << "threads=" << threads;
+      EXPECT_TRUE(r.certified) << "threads=" << threads;
+      EXPECT_TRUE(r.matching.maximal_in(el)) << "threads=" << threads;
+      EXPECT_EQ(r.stats.total_comm_words, canonical.stats.total_comm_words)
+          << "threads=" << threads;
+    }
   }
 }
 
