@@ -33,13 +33,13 @@ int main(int argc, char** argv) {
   std::uint64_t prev_comm = ~std::uint64_t{0};
   const double log_n = std::log2(static_cast<double>(n));
   for (double alpha : {14.0, 28.0, 56.0, 112.0}) {
-    const VcProtocolResult r = grouped_vc_protocol(el, k, alpha, rng, nullptr);
-    if (!r.cover.covers(el)) {
+    const GroupedVcProtocolResult r = grouped_vc_protocol(el, k, alpha, rng, nullptr);
+    if (!r.solution.covers(el)) {
       bench::verdict(false, "grouped cover infeasible");
       return 1;
     }
     const double ratio =
-        static_cast<double>(r.cover.size()) / static_cast<double>(opt);
+        static_cast<double>(r.solution.size()) / static_cast<double>(opt);
     const auto g = static_cast<VertexId>(std::max(1.0, std::floor(alpha / log_n)));
     const double normalized =
         static_cast<double>(r.comm.total_words()) * alpha /

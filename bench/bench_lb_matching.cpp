@@ -70,9 +70,9 @@ int main(int argc, char** argv) {
           {TablePrinter::fmt(std::uint64_t{budget}), budget_policy_name(policy),
            TablePrinter::fmt(std::uint64_t{recovered}),
            TablePrinter::fmt_ratio(normalized),
-           TablePrinter::fmt(std::uint64_t{r.matching.size()}),
+           TablePrinter::fmt(std::uint64_t{r.solution.size()}),
            TablePrinter::fmt_ratio(static_cast<double>(opt) /
-                                   static_cast<double>(r.matching.size()))});
+                                   static_cast<double>(r.solution.size()))});
     }
   }
   // Reference row: the unbudgeted Theorem 1 coreset.
@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
     for (const auto& s : r.summaries) recovered += hidden_edges_in(s, inst);
     table.add_row({"unbudgeted", "maximum-matching",
                    TablePrinter::fmt(std::uint64_t{recovered}), "-",
-                   TablePrinter::fmt(std::uint64_t{r.matching.size()}),
+                   TablePrinter::fmt(std::uint64_t{r.solution.size()}),
                    TablePrinter::fmt_ratio(static_cast<double>(opt) /
-                                           static_cast<double>(r.matching.size()))});
+                                           static_cast<double>(r.solution.size()))});
   }
   table.print();
   bench::verdict(linear_in_s,

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
         const MatchingProtocolResult r = coreset_matching_protocol(
             family.edges, k, family.left_size, rng, nullptr);
         ratio_stat.add(static_cast<double>(opt) /
-                       static_cast<double>(r.matching.size()));
+                       static_cast<double>(r.solution.size()));
         for (const auto& s : r.summaries) {
           max_summary = std::max<std::uint64_t>(max_summary, s.num_edges());
         }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
         inst.edges, k, alpha, inst.left_size(), rng, nullptr);
     const double ratio = static_cast<double>(opt) /
                          static_cast<double>(std::max<std::size_t>(
-                             r.matching.size(), 1));
+                             r.solution.size(), 1));
     const double comm = static_cast<double>(r.comm.total_words());
     const double normalized = comm * alpha * alpha /
                               (static_cast<double>(n) * static_cast<double>(k));

@@ -68,6 +68,7 @@ std::vector<Family> make_families(double scale, std::uint64_t seed) {
 struct Row {
   std::string scenario;
   std::string family;
+  std::string transport = "inproc";  // where the machine phase ran
   std::size_t k = 0;
   std::size_t rounds = 0;  // round budget handed to the executor
   VertexId n = 0;
@@ -157,12 +158,14 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
     const Row& r = rows[i];
     std::fprintf(
         out,
-        "    {\"scenario\": \"%s\", \"family\": \"%s\", \"k\": %zu, "
+        "    {\"scenario\": \"%s\", \"family\": \"%s\", \"transport\": "
+        "\"%s\", \"k\": %zu, "
         "\"rounds\": %zu, \"n\": %u, \"m\": %zu, \"engine_rounds\": %zu, "
         "\"processed_edges\": %zu, \"solution\": %zu, \"comm_words\": %llu, "
         "\"seconds_median\": %.6f, \"seconds_min\": %.6f, "
         "\"edges_per_sec\": %.1f}%s\n",
-        r.scenario.c_str(), r.family.c_str(), r.k, r.rounds, r.n, r.m,
+        r.scenario.c_str(), r.family.c_str(), r.transport.c_str(), r.k,
+        r.rounds, r.n, r.m,
         r.engine_rounds, r.processed_edges, r.solution,
         static_cast<unsigned long long>(r.comm_words), r.seconds_median,
         r.seconds_min, r.edges_per_sec, i + 1 < rows.size() ? "," : "");
@@ -295,6 +298,31 @@ int run_suite(int argc, char** argv) {
             out.solution = result.matching.size();
             return out;
           }));
+    }
+
+    // Transport head-to-head: the SAME single-round coreset workload through
+    // the in-process engine and through forked workers over loopback
+    // sockets. The pair prices the process boundary (fork + serialize +
+    // loopback + decode) against in-process absorption; both rows produce
+    // seed-for-seed identical solutions (pinned by the distributed suite),
+    // so any delta is pure transport cost.
+    for (const bool socket : {false, true}) {
+      const std::string scenario =
+          socket ? "transport_socket" : "transport_inproc";
+      if (!wanted(scenario, f)) continue;
+      rows.push_back(measure(
+          scenario, f, 8, 1, setup.reps, setup.seed, [&, socket](Rng& rng) {
+            MpcEngineConfig config = engine_config(f, 8, 1);
+            if (socket) {
+              config.streaming.transport = EngineTransport::kSocket;
+            }
+            const auto result = coreset_mpc_matching_rounds(
+                f.edges, config, f.left_size, rng, socket ? nullptr : &pool);
+            RunOutcome out = processed_of(result.stats);
+            out.solution = result.matching.size();
+            return out;
+          }));
+      rows.back().transport = socket ? "socket" : "inproc";
     }
 
     if (wanted("filtering", f)) {

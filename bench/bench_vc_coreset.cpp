@@ -33,11 +33,11 @@ int main(int argc, char** argv) {
       std::uint64_t max_summary = 0;
       for (int rep = 0; rep < setup.reps; ++rep) {
         const VcProtocolResult r = coreset_vc_protocol(el, k, rng, nullptr);
-        if (!r.cover.covers(el)) {
+        if (!r.solution.covers(el)) {
           bench::verdict(false, "returned cover infeasible");
           return 1;
         }
-        ratio_stat.add(static_cast<double>(r.cover.size()) /
+        ratio_stat.add(static_cast<double>(r.solution.size()) /
                        static_cast<double>(opt));
         for (const auto& m : r.comm.per_machine) {
           max_summary = std::max(max_summary, m.words());

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     VertexWeights w(n);
     for (auto& x : w) x = rng.uniform_real(1.0, wmax + 1e-9);
     const WeightedVcProtocolResult r = weighted_vc_protocol(el, w, k, rng);
-    if (!r.cover.covers(el)) {
+    if (!r.solution.covers(el)) {
       bench::verdict(false, "infeasible cover");
       return 1;
     }

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       "%.2f MiB, %.1fx more)\n"
       "wall time: partition %.0f ms | machines (parallel) %.0f ms | "
       "coordinator %.0f ms\n",
-      r.matching.size(), opt, static_cast<double>(opt) / r.matching.size(),
+      r.solution.size(), opt, static_cast<double>(opt) / r.solution.size(),
       static_cast<unsigned long long>(r.comm.total_words()),
       r.comm.total_megabytes(n),
       naive_words * word_bits(n) / 8.0 / 1024.0 / 1024.0,

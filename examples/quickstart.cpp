@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       coreset_matching_protocol(graph, k, /*left_size=*/0, rng, &pool);
   std::printf("matching: %zu edges, %llu words communicated (%.2f MiB), "
               "%.0f ms machine phase\n",
-              mm.matching.size(),
+              mm.solution.size(),
               static_cast<unsigned long long>(mm.comm.total_words()),
               mm.comm.total_megabytes(n), mm.timing.summaries_seconds * 1e3);
 
@@ -50,13 +50,13 @@ int main(int argc, char** argv) {
   const std::size_t opt = maximum_matching_size(graph);
   std::printf("centralized optimum: %zu  -> protocol ratio %.3f "
               "(Theorem 1 guarantees <= 9)\n",
-              opt, static_cast<double>(opt) / mm.matching.size());
+              opt, static_cast<double>(opt) / mm.solution.size());
 
   // 3. Minimum vertex cover via peeling coresets (Theorem 2).
   const VcProtocolResult vc = coreset_vc_protocol(graph, k, rng, &pool);
   std::printf("vertex cover: %zu vertices, feasible=%s, %llu words "
               "communicated\n",
-              vc.cover.size(), vc.cover.covers(graph) ? "yes" : "NO",
+              vc.solution.size(), vc.solution.covers(graph) ? "yes" : "NO",
               static_cast<unsigned long long>(vc.comm.total_words()));
   return 0;
 }

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     std::printf(
         "matching: %zu edges | comm %llu words (%.2f MiB) | machines %.0f ms, "
         "coordinator %.0f ms\n",
-        r.matching.size(),
+        r.solution.size(),
         static_cast<unsigned long long>(r.comm.total_words()),
         r.comm.total_megabytes(graph.num_vertices()),
         r.timing.summaries_seconds * 1e3, r.timing.combine_seconds * 1e3);
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     std::printf(
         "vertex cover: %zu vertices (feasible=%s) | comm %llu words | "
         "machines %.0f ms, coordinator %.0f ms\n",
-        r.cover.size(), r.cover.covers(graph) ? "yes" : "NO",
+        r.solution.size(), r.solution.covers(graph) ? "yes" : "NO",
         static_cast<unsigned long long>(r.comm.total_words()),
         r.timing.summaries_seconds * 1e3, r.timing.combine_seconds * 1e3);
   }

@@ -33,15 +33,6 @@ struct MatchingPhases {
   }
 };
 
-MatchingProtocolResult to_legacy(ProtocolResult<Matching, EdgeList>&& r) {
-  MatchingProtocolResult out;
-  out.matching = std::move(r.solution);
-  out.comm = std::move(r.comm);
-  out.timing = r.timing;
-  out.summaries = std::move(r.summaries);
-  return out;
-}
-
 /// The engine lambdas shared by the vertex cover entry points.
 struct VcPhases {
   const VertexCoverCoreset& coreset;
@@ -63,14 +54,6 @@ struct VcPhases {
     };
   }
 };
-
-VcProtocolResult to_legacy(ProtocolResult<VertexCover, VcCoresetOutput>&& r) {
-  VcProtocolResult out;
-  out.cover = std::move(r.solution);
-  out.comm = std::move(r.comm);
-  out.timing = r.timing;
-  return out;
-}
 
 /// StreamingFold of the matching protocol: absorb unions the coreset
 /// subgraphs as machines finish (canonical order reproduces
@@ -126,8 +109,8 @@ MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
                                              VertexId left_size, Rng& rng,
                                              ThreadPool* pool) {
   const MatchingPhases phases{coreset, solver, left_size};
-  return to_legacy(run_protocol(graph, k, left_size, rng, pool, phases.build(),
-                                &MatchingPhases::account, phases.combine()));
+  return run_protocol(graph, k, left_size, rng, pool, phases.build(),
+                      &MatchingPhases::account, phases.combine());
 }
 
 MatchingProtocolResult run_matching_protocol_on_partition(
@@ -135,18 +118,18 @@ MatchingProtocolResult run_matching_protocol_on_partition(
     ComposeSolver solver, VertexId left_size, Rng& rng, ThreadPool* pool) {
   RCC_CHECK(!pieces.empty());
   const MatchingPhases phases{coreset, solver, left_size};
-  return to_legacy(run_protocol_on_pieces<Edge>(
+  return run_protocol_on_pieces<Edge>(
       pieces_of(pieces), pieces.front().num_vertices(), left_size, rng, pool,
-      phases.build(), &MatchingPhases::account, phases.combine()));
+      phases.build(), &MatchingPhases::account, phases.combine());
 }
 
 VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
                                  const VertexCoverCoreset& coreset, Rng& rng,
                                  ThreadPool* pool) {
   const VcPhases phases{coreset};
-  return to_legacy(run_protocol(graph, k, /*left_size=*/0, rng, pool,
-                                phases.build(), &VcPhases::account,
-                                VcPhases::combine(graph.num_vertices())));
+  return run_protocol(graph, k, /*left_size=*/0, rng, pool, phases.build(),
+                      &VcPhases::account,
+                      VcPhases::combine(graph.num_vertices()));
 }
 
 VcProtocolResult run_vc_protocol_on_partition(
@@ -154,9 +137,9 @@ VcProtocolResult run_vc_protocol_on_partition(
     VertexId num_vertices, Rng& rng, ThreadPool* pool) {
   RCC_CHECK(!pieces.empty());
   const VcPhases phases{coreset};
-  return to_legacy(run_protocol_on_pieces<Edge>(
+  return run_protocol_on_pieces<Edge>(
       pieces_of(pieces), num_vertices, /*left_size=*/0, rng, pool,
-      phases.build(), &VcPhases::account, VcPhases::combine(num_vertices)));
+      phases.build(), &VcPhases::account, VcPhases::combine(num_vertices));
 }
 
 MatchingProtocolResult run_matching_protocol_streaming(
@@ -165,10 +148,10 @@ MatchingProtocolResult run_matching_protocol_streaming(
     const StreamingOptions& streaming) {
   const MatchingPhases phases{coreset, solver, left_size};
   MatchingStreamFold fold{solver, left_size, EdgeList(graph.num_vertices())};
-  return to_legacy(run_protocol_streaming<Edge>(
+  return run_protocol_streaming<Edge>(
       std::span<const Edge>(graph.edges().data(), graph.num_edges()),
       graph.num_vertices(), k, left_size, rng, pool, phases.build(),
-      &MatchingPhases::account, fold, streaming));
+      &MatchingPhases::account, fold, streaming);
 }
 
 VcProtocolResult run_vc_protocol_streaming(const EdgeList& graph,
@@ -178,10 +161,10 @@ VcProtocolResult run_vc_protocol_streaming(const EdgeList& graph,
                                            const StreamingOptions& streaming) {
   const VcPhases phases{coreset};
   VcStreamFold fold(graph.num_vertices());
-  return to_legacy(run_protocol_streaming<Edge>(
+  return run_protocol_streaming<Edge>(
       std::span<const Edge>(graph.edges().data(), graph.num_edges()),
       graph.num_vertices(), k, /*left_size=*/0, rng, pool, phases.build(),
-      &VcPhases::account, fold, streaming));
+      &VcPhases::account, fold, streaming);
 }
 
 }  // namespace rcc

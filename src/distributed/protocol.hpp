@@ -19,18 +19,12 @@
 
 namespace rcc {
 
-struct MatchingProtocolResult {
-  Matching matching;
-  CommStats comm;
-  ProtocolTiming timing;
-  std::vector<EdgeList> summaries;  // retained for probes (hidden-edge counts)
-};
-
-struct VcProtocolResult {
-  VertexCover cover;
-  CommStats comm;
-  ProtocolTiming timing;
-};
+/// One canonical result type per protocol: the engine's ProtocolResult used
+/// directly (`solution` is the matching / cover; `summaries` are retained
+/// for probes such as hidden-edge counts). These were standalone wrapper
+/// structs before the engine result grew to carry everything they did.
+using MatchingProtocolResult = ProtocolResult<Matching, EdgeList>;
+using VcProtocolResult = ProtocolResult<VertexCover, VcCoresetOutput>;
 
 /// Runs the simultaneous matching protocol: coreset per machine, then the
 /// coordinator solves the union. `left_size` > 0 declares the instance

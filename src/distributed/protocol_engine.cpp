@@ -21,7 +21,17 @@ void add_streaming_flags(Options& options) {
             "seed-for-seed identical to the barrier fold) or 'arrival'")
       .flag("engine-queue-capacity", "0",
             "completion-queue slots between machines and the coordinator "
-            "(0 = one per machine, producers never block)");
+            "(0 = one per machine, producers never block)")
+      .flag("engine-transport", "inproc",
+            "machine-phase transport: 'inproc' (threads + completion queue) "
+            "or 'socket' (forked worker processes streaming framed "
+            "summaries over loopback TCP)")
+      .flag("engine-transport-port", "0",
+            "coordinator listening port for --engine-transport=socket "
+            "(0 = kernel-assigned ephemeral port)")
+      .flag("engine-transport-timeout-ms", "10000",
+            "socket-transport deadline for worker connects and frame waits; "
+            "a worker silent this long fails the run with its machine id");
 }
 
 StreamingOptions streaming_options_from_options(const Options& options) {
@@ -46,6 +56,34 @@ StreamingOptions streaming_options_from_options(const Options& options) {
     std::exit(2);
   }
   opts.queue_capacity = static_cast<std::size_t>(capacity);
+  const std::string transport = options.get_string("engine-transport");
+  if (transport == "inproc") {
+    opts.transport = EngineTransport::kInproc;
+  } else if (transport == "socket") {
+    opts.transport = EngineTransport::kSocket;
+  } else {
+    std::fprintf(stderr,
+                 "flag --engine-transport: '%s' is not one of 'inproc', "
+                 "'socket'\n",
+                 transport.c_str());
+    std::exit(2);
+  }
+  const std::int64_t port = options.get_int("engine-transport-port");
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "flag --engine-transport-port: %lld is not a port number\n",
+                 static_cast<long long>(port));
+    std::exit(2);
+  }
+  opts.socket.leader_port = static_cast<std::uint16_t>(port);
+  const std::int64_t timeout = options.get_int("engine-transport-timeout-ms");
+  if (timeout <= 0) {
+    std::fprintf(stderr,
+                 "flag --engine-transport-timeout-ms: %lld must be > 0\n",
+                 static_cast<long long>(timeout));
+    std::exit(2);
+  }
+  opts.socket.timeout_ms = static_cast<int>(timeout);
   return opts;
 }
 

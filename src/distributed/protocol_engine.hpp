@@ -50,8 +50,11 @@
 #include <vector>
 
 #include "distributed/message.hpp"
+#include "distributed/socket_transport.hpp"
+#include "distributed/summary_wire.hpp"
 #include "partition/partition.hpp"
 #include "partition/sharded_partition.hpp"
+#include "util/completion.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/workspace.hpp"
@@ -78,12 +81,33 @@ enum class StreamingOrder {
                // folds whose result is absorb-order independent
 };
 
+/// How machine summaries reach the coordinator.
+enum class EngineTransport {
+  kInproc,  // shared address space: thread pool + completion queue
+  kSocket,  // k forked worker processes streaming framed summaries over
+            // loopback TCP (summary_wire.hpp / socket_transport.hpp)
+};
+
 /// Knobs of the streaming combine path.
 struct StreamingOptions {
   StreamingOrder order = StreamingOrder::kCanonical;
   /// Completion-queue slots between the machines and the coordinator;
   /// 0 sizes the queue to k so producers never block on a slow consumer.
   std::size_t queue_capacity = 0;
+  /// Where the machine phase runs. kSocket requires a WireSerializable
+  /// summary type and ignores the thread pool — the worker processes ARE
+  /// the parallelism.
+  EngineTransport transport = EngineTransport::kInproc;
+  /// Socket-transport knobs (port, deadline, fault injection); unused for
+  /// kInproc.
+  SocketTransportOptions socket;
+};
+
+/// What crossed a process boundary; all zeros for in-process runs.
+struct TransportTelemetry {
+  EngineTransport kind = EngineTransport::kInproc;
+  std::uint64_t wire_bytes = 0;  // framed bytes received (headers + payloads)
+  std::uint64_t frames = 0;      // summary frames received (== k on success)
 };
 
 /// What the streaming path observed; all zeros for barrier runs.
@@ -110,6 +134,7 @@ struct ProtocolResult {
   CommStats comm;
   ProtocolTiming timing;
   StreamingTelemetry streaming;
+  TransportTelemetry transport;
 };
 
 /// Machine phases + STREAMING combine over pre-made pieces. This is the
@@ -194,7 +219,68 @@ auto run_protocol_streaming_on_pieces(
       fold.absorb(result.summaries[id], id);
     }
   };
-  if (pool == nullptr || pool->size() == 1 || k == 1) {
+  if (opts.transport == EngineTransport::kSocket) {
+    // Cross-process machine phase: fork k workers, each builds its summary
+    // on its copy-on-write inherited piece (with the rng stream forked for
+    // it ABOVE, in the parent — so the coordinator rng's position is
+    // identical to the in-process paths), frames it per summary_wire.hpp,
+    // and streams it to this process over loopback. The collector hands
+    // frames back in arrival order — the exact role CompletionQueue::pop
+    // plays in-process — and the same CanonicalReorder releases them in
+    // machine-id order, so folds, accounting, and RNG draws carry over
+    // unchanged. The thread pool is ignored: workers are the parallelism.
+    if constexpr (WireSerializable<Summary>) {
+      const SocketTransportOptions& sock = opts.socket;
+      LoopbackListener listener(sock.leader_port);
+      const std::uint16_t port = listener.port();
+      const auto worker_body = [&](std::size_t i) {
+        if (static_cast<long>(i) == sock.fault_kill_machine) {
+          worker_exit_silently();
+        }
+        machine_work(i);  // fills the CHILD's copy of summaries[i]
+        const std::vector<std::uint8_t> frame =
+            encode_frame(result.summaries[i], static_cast<std::uint32_t>(i));
+        const int fd = connect_to_leader(port, sock.timeout_ms);
+        if (static_cast<long>(i) == sock.fault_partial_frame_machine) {
+          send_partial_frame_and_die(fd, frame.data(), frame.size());
+        }
+        send_all(fd, frame.data(), frame.size());
+      };
+      const std::vector<pid_t> workers = spawn_workers(k, worker_body);
+      {
+        FrameCollector collector(listener, k, sock.timeout_ms);
+        CanonicalReorder reorder(k);
+        for (std::size_t received = 0; received < k; ++received) {
+          ReadyFrame frame = collector.next_ready();
+          const std::size_t id = frame.header.machine;
+          result.summaries[id] =
+              decode_frame_payload<Summary>(frame.header,
+                                            frame.payload.data());
+          const auto absorb = [&](std::size_t m) {
+            if (received + 1 < k) {
+              ++result.streaming.absorbed_while_machines_ran;
+            }
+            deliver(m);
+          };
+          if (opts.order == StreamingOrder::kArrival) {
+            absorb(id);
+          } else {
+            reorder.complete(id, absorb);
+          }
+        }
+        if (opts.order == StreamingOrder::kCanonical) {
+          RCC_CHECK(reorder.drained());
+        }
+        result.transport.kind = EngineTransport::kSocket;
+        result.transport.wire_bytes = collector.wire_bytes();
+        result.transport.frames = collector.frames_delivered();
+      }
+      reap_workers(workers);
+    } else {
+      RCC_CHECK(
+          !"engine transport 'socket' requires a wire-serializable summary");
+    }
+  } else if (pool == nullptr || pool->size() == 1 || k == 1) {
     // Sequential: build and absorb alternate machine by machine, so arrival
     // order IS canonical order and every absorb but the last overlaps an
     // unfinished machine in the schedule sense. A one-worker pool takes this
@@ -227,16 +313,13 @@ auto run_protocol_streaming_on_pieces(
     } else {
       // Canonical order: the reorder buffer releases machine ids in
       // ascending order; an id is absorbable once every lower id has been.
-      std::vector<char> completed(k, 0);
-      std::size_t next = 0;
+      // The same CanonicalReorder sits on top of the socket transport's
+      // frame collector above — one copy of the determinism mechanism.
+      CanonicalReorder reorder(k);
       for (std::size_t done = 0; done < k; ++done) {
-        completed[queue.pop()] = 1;
-        while (next < k && completed[next] != 0) {
-          absorb(next);
-          ++next;
-        }
+        reorder.complete(queue.pop(), absorb);
       }
-      RCC_CHECK(next == k);
+      RCC_CHECK(reorder.drained());
     }
     pool->wait_idle();
   }
@@ -364,14 +447,18 @@ auto run_protocol_streaming(std::span<const EdgeT> edges,
   return result;
 }
 
-/// Registers the streaming combine knobs on an Options parser:
-///   --engine-streaming        stream summaries into the coordinator fold
-///   --engine-streaming-order  arrival | canonical (reorder buffer)
-///   --engine-queue-capacity   completion-queue slots (0 = one per machine)
+/// Registers the streaming combine + transport knobs on an Options parser:
+///   --engine-streaming             stream summaries into the coordinator fold
+///   --engine-streaming-order       arrival | canonical (reorder buffer)
+///   --engine-queue-capacity        completion-queue slots (0 = one/machine)
+///   --engine-transport             inproc | socket (forked workers over
+///                                  loopback; implies the streaming path)
+///   --engine-transport-port        coordinator port (0 = ephemeral)
+///   --engine-transport-timeout-ms  socket deadline per wait
 void add_streaming_flags(Options& options);
 
 /// Reads the knobs registered by add_streaming_flags back; exits(2) on an
-/// unknown --engine-streaming-order value (strict Options philosophy).
+/// unknown enum value or out-of-range number (strict Options philosophy).
 StreamingOptions streaming_options_from_options(const Options& options);
 
 /// True when --engine-streaming was set.

@@ -33,13 +33,6 @@ VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
 
 namespace {
 
-/// One machine's message in the grouped protocol: the Theorem 2 summary on
-/// the contracted multigraph, plus the groups the machine pinned locally.
-struct GroupedVcSummary {
-  VcCoresetOutput core;
-  std::vector<VertexId> pinned_groups;
-};
-
 /// The grouping geometry plus the machine phase shared by the barrier and
 /// streaming grouped drivers.
 struct GroupedVcPhases {
@@ -131,21 +124,11 @@ struct GroupedVcStreamFold {
   }
 };
 
-VcProtocolResult to_grouped_result(
-    ProtocolResult<VertexCover, GroupedVcSummary>&& engine_result,
-    const EdgeList& graph) {
-  VcProtocolResult result;
-  result.cover = std::move(engine_result.solution);
-  result.comm = std::move(engine_result.comm);
-  result.timing = engine_result.timing;
-  RCC_CHECK(result.cover.covers(graph));
-  return result;
-}
-
 }  // namespace
 
-VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
-                                     double alpha, Rng& rng, ThreadPool* pool) {
+GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
+                                            std::size_t k, double alpha,
+                                            Rng& rng, ThreadPool* pool) {
   const PeelingVcCoreset coreset;
   const GroupedVcPhases phases = GroupedVcPhases::make(graph, alpha, coreset);
 
@@ -171,10 +154,11 @@ VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
     return expanded;
   };
 
-  return to_grouped_result(
+  GroupedVcProtocolResult result =
       run_protocol(graph, k, /*left_size=*/0, rng, pool, phases.build(),
-                   &GroupedVcPhases::account, combine),
-      graph);
+                   &GroupedVcPhases::account, combine);
+  RCC_CHECK(result.solution.covers(graph));
+  return result;
 }
 
 MatchingProtocolResult coreset_matching_protocol_streaming(
@@ -193,18 +177,18 @@ VcProtocolResult coreset_vc_protocol_streaming(
   return run_vc_protocol_streaming(graph, k, coreset, rng, pool, streaming);
 }
 
-VcProtocolResult grouped_vc_protocol_streaming(
+GroupedVcProtocolResult grouped_vc_protocol_streaming(
     const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
     ThreadPool* pool, const StreamingOptions& streaming) {
   const PeelingVcCoreset coreset;
   const GroupedVcPhases phases = GroupedVcPhases::make(graph, alpha, coreset);
   GroupedVcStreamFold fold(phases);
-  return to_grouped_result(
-      run_protocol_streaming<Edge>(
-          std::span<const Edge>(graph.edges().data(), graph.num_edges()),
-          graph.num_vertices(), k, /*left_size=*/0, rng, pool, phases.build(),
-          &GroupedVcPhases::account, fold, streaming),
-      graph);
+  GroupedVcProtocolResult result = run_protocol_streaming<Edge>(
+      std::span<const Edge>(graph.edges().data(), graph.num_edges()),
+      graph.num_vertices(), k, /*left_size=*/0, rng, pool, phases.build(),
+      &GroupedVcPhases::account, fold, streaming);
+  RCC_CHECK(result.solution.covers(graph));
+  return result;
 }
 
 }  // namespace rcc

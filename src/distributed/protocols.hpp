@@ -27,15 +27,27 @@ MatchingProtocolResult subsampled_matching_protocol(const EdgeList& graph,
 VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
                                      Rng& rng, ThreadPool* pool = nullptr);
 
+/// One machine's message in the grouped protocol: the Theorem 2 summary on
+/// the contracted multigraph, plus the groups the machine pinned locally.
+struct GroupedVcSummary {
+  VcCoresetOutput core;
+  std::vector<VertexId> pinned_groups;
+};
+
+/// The grouped protocol's canonical result type (its summary shape differs
+/// from the plain VC protocol's, so it gets its own ProtocolResult).
+using GroupedVcProtocolResult = ProtocolResult<VertexCover, GroupedVcSummary>;
+
 /// Remark 5.8. Vertices are grouped as [v/g] with g = max(1,
 /// floor(alpha / log2 n)); each machine contracts its piece onto the group
 /// universe (dropping nothing: an edge internal to a group pins that group
 /// into the machine's fixed solution, since any cover must take one of its
 /// endpoints and the group expansion contains both). The returned cover
 /// lives in the *original* vertex universe.
-VcProtocolResult grouped_vc_protocol(const EdgeList& graph, std::size_t k,
-                                     double alpha, Rng& rng,
-                                     ThreadPool* pool = nullptr);
+GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
+                                            std::size_t k, double alpha,
+                                            Rng& rng,
+                                            ThreadPool* pool = nullptr);
 
 /// Streaming variants of the named protocols (see
 /// run_matching_protocol_streaming for the order/determinism contract).
@@ -47,7 +59,7 @@ VcProtocolResult coreset_vc_protocol_streaming(
     const EdgeList& graph, std::size_t k, Rng& rng, ThreadPool* pool = nullptr,
     const StreamingOptions& streaming = {});
 
-VcProtocolResult grouped_vc_protocol_streaming(
+GroupedVcProtocolResult grouped_vc_protocol_streaming(
     const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
     ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
 

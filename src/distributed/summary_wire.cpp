@@ -1,0 +1,249 @@
+#include "distributed/summary_wire.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcc {
+
+void wire_fail(const char* fmt, ...) {
+  std::fputs("summary wire: ", stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+void WireReader::take(void* out, std::size_t size, const char* what) {
+  if (size > size_ - cursor_) {
+    wire_fail("truncated payload: %s needs %zu bytes at offset %zu, %zu left",
+              what, size, cursor_, remaining());
+  }
+  std::memcpy(out, data_ + cursor_, size);
+  cursor_ += size;
+}
+
+void encode_frame_header(const FrameHeader& header, std::uint8_t* out) {
+  std::uint8_t* p = out;
+  const auto put32 = [&p](std::uint32_t v) {
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+  };
+  const auto put16 = [&p](std::uint16_t v) {
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+  };
+  put32(kWireMagic);
+  put16(kWireVersion);
+  put16(static_cast<std::uint16_t>(header.shape));
+  put32(header.machine);
+  put32(0);  // reserved
+  std::uint64_t payload = header.payload_bytes;
+  std::memcpy(p, &payload, sizeof payload);
+}
+
+FrameHeader decode_frame_header(const std::uint8_t* bytes) {
+  WireReader reader(bytes, kFrameHeaderBytes);
+  const std::uint32_t magic = reader.u32();
+  if (magic != kWireMagic) {
+    wire_fail("bad frame magic 0x%08x (expected 0x%08x)", magic, kWireMagic);
+  }
+  const std::uint32_t version_and_shape = reader.u32();
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(version_and_shape & 0xffffu);
+  const std::uint16_t shape =
+      static_cast<std::uint16_t>(version_and_shape >> 16);
+  if (version != kWireVersion) {
+    wire_fail("frame version %u does not match this build's version %u",
+              static_cast<unsigned>(version),
+              static_cast<unsigned>(kWireVersion));
+  }
+  if (shape < static_cast<std::uint16_t>(SummaryShape::kEdgeList) ||
+      shape > static_cast<std::uint16_t>(SummaryShape::kGroupedVc)) {
+    wire_fail("unknown summary shape tag %u", static_cast<unsigned>(shape));
+  }
+  const std::uint32_t machine = reader.u32();
+  const std::uint32_t reserved = reader.u32();
+  if (reserved != 0) {
+    wire_fail("reserved header word is 0x%08x, must be 0", reserved);
+  }
+  const std::uint64_t payload_bytes = reader.u64();
+  if (payload_bytes > kMaxFramePayloadBytes) {
+    wire_fail("payload length %llu exceeds the %llu-byte frame cap",
+              static_cast<unsigned long long>(payload_bytes),
+              static_cast<unsigned long long>(kMaxFramePayloadBytes));
+  }
+  return FrameHeader{static_cast<SummaryShape>(shape), machine, payload_bytes};
+}
+
+void SummaryCodec<EdgeList>::encode(const EdgeList& list, WireWriter& writer) {
+  writer.u32(list.num_vertices());
+  writer.u64(list.num_edges());
+  for (const Edge& e : list) {
+    writer.u32(e.u);
+    writer.u32(e.v);
+  }
+}
+
+EdgeList SummaryCodec<EdgeList>::decode(WireReader& reader) {
+  const VertexId n = reader.u32();
+  const std::uint64_t m = reader.u64();
+  // Cheap sanity gate before reserving: each edge needs 8 payload bytes.
+  if (m > reader.remaining() / 8) {
+    wire_fail("edge list claims %llu edges but only %zu payload bytes remain",
+              static_cast<unsigned long long>(m), reader.remaining());
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const VertexId u = reader.u32();
+    const VertexId v = reader.u32();
+    if (u >= n || v >= n) {
+      wire_fail("edge %llu = (%u, %u) leaves the %u-vertex universe",
+                static_cast<unsigned long long>(i), u, v, n);
+    }
+    if (u == v) {
+      wire_fail("edge %llu is a self-loop at vertex %u",
+                static_cast<unsigned long long>(i), u);
+    }
+    edges.push_back(Edge{u, v});
+  }
+  return EdgeList(n, std::move(edges));
+}
+
+void SummaryCodec<VcCoresetOutput>::encode(const VcCoresetOutput& coreset,
+                                           WireWriter& writer) {
+  SummaryCodec<EdgeList>::encode(coreset.residual_edges, writer);
+  writer.u64(coreset.fixed_vertices.size());
+  for (const VertexId v : coreset.fixed_vertices) writer.u32(v);
+}
+
+VcCoresetOutput SummaryCodec<VcCoresetOutput>::decode(WireReader& reader) {
+  VcCoresetOutput coreset;
+  coreset.residual_edges = SummaryCodec<EdgeList>::decode(reader);
+  const VertexId n = coreset.residual_edges.num_vertices();
+  const std::uint64_t fixed = reader.u64();
+  if (fixed > reader.remaining() / 4) {
+    wire_fail(
+        "vc coreset claims %llu fixed vertices but only %zu payload bytes "
+        "remain",
+        static_cast<unsigned long long>(fixed), reader.remaining());
+  }
+  coreset.fixed_vertices.reserve(static_cast<std::size_t>(fixed));
+  for (std::uint64_t i = 0; i < fixed; ++i) {
+    const VertexId v = reader.u32();
+    if (v >= n) {
+      wire_fail("fixed vertex %llu = %u leaves the %u-vertex universe",
+                static_cast<unsigned long long>(i), v, n);
+    }
+    coreset.fixed_vertices.push_back(v);
+  }
+  return coreset;
+}
+
+void SummaryCodec<WeightedCoresetOutput>::encode(
+    const WeightedCoresetOutput& coreset, WireWriter& writer) {
+  writer.u32(coreset.edges.num_vertices);
+  writer.u64(coreset.edges.edges.size());
+  for (const WeightedEdge& e : coreset.edges.edges) {
+    writer.u32(e.u);
+    writer.u32(e.v);
+    writer.f64(e.weight);
+  }
+}
+
+WeightedCoresetOutput SummaryCodec<WeightedCoresetOutput>::decode(
+    WireReader& reader) {
+  WeightedCoresetOutput coreset;
+  const VertexId n = reader.u32();
+  const std::uint64_t m = reader.u64();
+  if (m > reader.remaining() / 16) {
+    wire_fail(
+        "weighted edge list claims %llu edges but only %zu payload bytes "
+        "remain",
+        static_cast<unsigned long long>(m), reader.remaining());
+  }
+  coreset.edges.num_vertices = n;
+  coreset.edges.edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const VertexId u = reader.u32();
+    const VertexId v = reader.u32();
+    const double w = reader.f64();
+    if (u >= n || v >= n || u == v) {
+      wire_fail("weighted edge %llu = (%u, %u) is invalid for a %u-vertex "
+                "universe",
+                static_cast<unsigned long long>(i), u, v, n);
+    }
+    if (!(w >= 0.0)) {
+      wire_fail("weighted edge %llu carries a negative or NaN weight",
+                static_cast<unsigned long long>(i));
+    }
+    coreset.edges.edges.push_back(WeightedEdge{u, v, w});
+  }
+  return coreset;
+}
+
+void SummaryCodec<std::vector<AugmentingPath>>::encode(
+    const std::vector<AugmentingPath>& paths, WireWriter& writer) {
+  writer.u64(paths.size());
+  for (const AugmentingPath& path : paths) {
+    writer.u32(static_cast<std::uint32_t>(path.vertices.size()));
+    for (const VertexId v : path.vertices) writer.u32(v);
+  }
+}
+
+std::vector<AugmentingPath> SummaryCodec<std::vector<AugmentingPath>>::decode(
+    WireReader& reader) {
+  const std::uint64_t count = reader.u64();
+  // Each path needs at least its 4-byte length prefix.
+  if (count > reader.remaining() / 4) {
+    wire_fail("path batch claims %llu paths but only %zu payload bytes remain",
+              static_cast<unsigned long long>(count), reader.remaining());
+  }
+  std::vector<AugmentingPath> paths;
+  paths.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t length = reader.u32();
+    if (length > reader.remaining() / 4) {
+      wire_fail(
+          "path %llu claims %u vertices but only %zu payload bytes remain",
+          static_cast<unsigned long long>(i), length, reader.remaining());
+    }
+    AugmentingPath path;
+    for (std::uint32_t j = 0; j < length; ++j) {
+      path.vertices.push_back(reader.u32());
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+void SummaryCodec<std::vector<VcCoresetOutput>>::encode(
+    const std::vector<VcCoresetOutput>& batch, WireWriter& writer) {
+  writer.u64(batch.size());
+  for (const VcCoresetOutput& coreset : batch) {
+    SummaryCodec<VcCoresetOutput>::encode(coreset, writer);
+  }
+}
+
+std::vector<VcCoresetOutput> SummaryCodec<std::vector<VcCoresetOutput>>::decode(
+    WireReader& reader) {
+  const std::uint64_t count = reader.u64();
+  // Each nested coreset needs at least its fixed-size length fields.
+  if (count > reader.remaining() / (4 + 8 + 8)) {
+    wire_fail(
+        "vc coreset batch claims %llu coresets but only %zu payload bytes "
+        "remain",
+        static_cast<unsigned long long>(count), reader.remaining());
+  }
+  std::vector<VcCoresetOutput> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    batch.push_back(SummaryCodec<VcCoresetOutput>::decode(reader));
+  }
+  return batch;
+}
+
+}  // namespace rcc

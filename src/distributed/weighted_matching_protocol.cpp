@@ -28,11 +28,10 @@ WeightedMatchingProtocolResult to_weighted_result(
     ProtocolResult<Matching, WeightedCoresetOutput>&& engine_result,
     const WeightedEdgeList& graph, double class_base) {
   WeightedMatchingProtocolResult result;
-  result.matching = std::move(engine_result.solution);
-  result.matching_weight = matching_weight(result.matching, graph);
-  result.comm = std::move(engine_result.comm);
-  result.timing = engine_result.timing;
-  for (const WeightedCoresetOutput& s : engine_result.summaries) {
+  static_cast<ProtocolResult<Matching, WeightedCoresetOutput>&>(result) =
+      std::move(engine_result);
+  result.matching_weight = matching_weight(result.solution, graph);
+  for (const WeightedCoresetOutput& s : result.summaries) {
     result.max_classes_per_machine =
         std::max(result.max_classes_per_machine,
                  split_weight_classes(s.edges, class_base).classes.size());

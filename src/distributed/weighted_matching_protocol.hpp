@@ -12,11 +12,12 @@
 
 namespace rcc {
 
-struct WeightedMatchingProtocolResult {
-  Matching matching;
+/// The engine's canonical result (`solution` is the matching; `comm`
+/// charges a weighted edge 3 words: two ids + one weight) extended with the
+/// weighted-protocol derived quantities.
+struct WeightedMatchingProtocolResult
+    : ProtocolResult<Matching, WeightedCoresetOutput> {
   double matching_weight = 0.0;
-  CommStats comm;  // a weighted edge costs 3 words: two ids + one weight
-  ProtocolTiming timing;
   std::size_t max_classes_per_machine = 0;
 };
 

@@ -102,10 +102,9 @@ WeightedVcProtocolResult to_weighted_vc_result(
     ProtocolResult<VertexCover, std::vector<VcCoresetOutput>>&& engine_result,
     const WeightedVcPhases& phases) {
   WeightedVcProtocolResult result;
-  result.cover = std::move(engine_result.solution);
-  result.cover_cost = cover_weight(result.cover, phases.weights);
-  result.comm = std::move(engine_result.comm);
-  result.timing = engine_result.timing;
+  static_cast<ProtocolResult<VertexCover, std::vector<VcCoresetOutput>>&>(
+      result) = std::move(engine_result);
+  result.cover_cost = cover_weight(result.solution, phases.weights);
   result.weight_classes = static_cast<std::size_t>(phases.num_classes);
   return result;
 }

@@ -26,11 +26,12 @@
 
 namespace rcc {
 
-struct WeightedVcProtocolResult {
-  VertexCover cover;
+/// The engine's canonical result (`solution` is the cover; each machine's
+/// summary is its vector of per-class coresets) extended with the
+/// weighted-protocol derived quantities.
+struct WeightedVcProtocolResult
+    : ProtocolResult<VertexCover, std::vector<VcCoresetOutput>> {
   double cover_cost = 0.0;
-  CommStats comm;
-  ProtocolTiming timing;
   std::size_t weight_classes = 0;
 };
 

@@ -83,7 +83,11 @@ struct MpcEngineConfig {
   /// preserves seed-for-seed equality with the barrier fold.
   bool streaming_fold = false;
 
-  /// Absorb order + completion-queue capacity when streaming_fold is set.
+  /// Absorb order + completion-queue capacity when streaming_fold is set,
+  /// plus the machine-phase transport: EngineTransport::kSocket forks one
+  /// worker process per machine each round and streams framed summaries
+  /// over loopback (requires a streaming-capable fold; takes the streaming
+  /// combine path even when streaming_fold is false).
   StreamingOptions streaming;
 
   /// Charge every machine 2*|shard| words for holding its piece of the
@@ -331,9 +335,19 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
         const Build&, EdgeSpan, const PartitionContext&, Rng&>>;
     constexpr bool streaming_capable =
         StreamingRoundFold<std::remove_reference_t<Fold>, Summary>;
+    // The socket transport only exists behind the streaming combine path
+    // (frames arrive one at a time — there is no barrier to fold behind),
+    // so requesting it takes that path even without --engine-streaming; a
+    // plain callable fold cannot ride it.
+    const bool wants_socket =
+        config.streaming.transport == EngineTransport::kSocket;
+    if constexpr (!streaming_capable) {
+      RCC_CHECK(!wants_socket &&
+                "socket transport requires a streaming-capable round fold");
+    }
     const auto run_round = [&] {
       if constexpr (streaming_capable) {
-        if (config.streaming_fold) {
+        if (config.streaming_fold || wants_socket) {
           struct RoundStreamAdapter {
             std::remove_reference_t<Fold>& fold;
             MpcRoundContext& ctx;

@@ -1,0 +1,343 @@
+// Cross-process machine phase over loopback sockets
+// (distributed/socket_transport.hpp + the kSocket branch of
+// distributed/protocol_engine.hpp):
+//
+//   (a) the multi-process socket backend must be seed-for-seed IDENTICAL to
+//       both the in-process barrier and in-process canonical streaming —
+//       exact solutions, word-exact communication ledgers, per-machine
+//       summary sizes, round counts, and the caller's RNG stream position —
+//       across a generator x seed x k grid for every single-round protocol
+//       driver and every streaming-capable multi-round combiner (coreset
+//       matching, coreset VC, filtering, augmenting, EDCS),
+//   (b) transport telemetry reports what actually crossed the process
+//       boundary: k frames, framed bytes >= k headers, kInproc reporting
+//       zeros,
+//   (c) fault injection: a worker killed before it connects fails the run
+//       within the configured deadline NAMING the missing machine id (no
+//       hang); a worker dying mid-frame fails naming the machine that went
+//       silent. Both are death tests — a lost worker is a failed run, not a
+//       recoverable condition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coreset/matching_coresets.hpp"
+#include "coreset/vc_coreset.hpp"
+#include "distributed/protocol.hpp"
+#include "distributed/protocols.hpp"
+#include "distributed/summary_wire.hpp"
+#include "distributed/weighted_matching_protocol.hpp"
+#include "distributed/weighted_vc_protocol.hpp"
+#include "graph/generators.hpp"
+#include "mpc/augmenting_rounds.hpp"
+#include "mpc/coreset_mpc.hpp"
+#include "mpc/edcs_rounds.hpp"
+#include "mpc/filtering_mpc.hpp"
+#include "mpc/mpc_engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rcc {
+namespace {
+
+std::vector<Edge> sorted_edges(const Matching& m) {
+  EdgeList el = m.to_edge_list();
+  el.sort();
+  return el.edges();
+}
+
+StreamingOptions socket_options(int timeout_ms = 30000) {
+  StreamingOptions opts;
+  opts.transport = EngineTransport::kSocket;
+  opts.socket.timeout_ms = timeout_ms;
+  return opts;
+}
+
+/// The socket run received exactly one frame per machine and counted the
+/// bytes behind them.
+template <typename Result>
+void expect_socket_telemetry(const Result& result, std::size_t k) {
+  EXPECT_EQ(result.transport.kind, EngineTransport::kSocket);
+  EXPECT_EQ(result.transport.frames, k);
+  EXPECT_GE(result.transport.wire_bytes, k * kFrameHeaderBytes);
+}
+
+TEST(DistributedTransport, MatchingProtocolMatchesInprocSeedForSeed) {
+  const MaximumMatchingCoreset coreset;
+  for (std::uint64_t seed : {1u, 2u}) {
+    Rng gen(seed);
+    const std::vector<EdgeList> instances = {
+        gnp(300, 5.0 / 300, gen), random_bipartite(80, 100, 0.06, gen)};
+    for (const EdgeList& el : instances) {
+      for (const std::size_t k : {4u, 7u}) {
+        Rng barrier_rng(seed);
+        const MatchingProtocolResult barrier = run_matching_protocol(
+            el, k, coreset, ComposeSolver::kMaximum, 0, barrier_rng);
+        Rng inproc_rng(seed);
+        const MatchingProtocolResult inproc = run_matching_protocol_streaming(
+            el, k, coreset, ComposeSolver::kMaximum, 0, inproc_rng);
+        Rng socket_rng(seed);
+        const MatchingProtocolResult socket = run_matching_protocol_streaming(
+            el, k, coreset, ComposeSolver::kMaximum, 0, socket_rng,
+            /*pool=*/nullptr, socket_options());
+
+        EXPECT_EQ(sorted_edges(barrier.solution), sorted_edges(socket.solution))
+            << "seed=" << seed << " k=" << k;
+        EXPECT_EQ(sorted_edges(inproc.solution), sorted_edges(socket.solution));
+        EXPECT_EQ(barrier.comm.total_words(), socket.comm.total_words());
+        ASSERT_EQ(barrier.summaries.size(), socket.summaries.size());
+        for (std::size_t i = 0; i < k; ++i) {
+          EXPECT_EQ(barrier.summaries[i].edges(), socket.summaries[i].edges());
+        }
+        // All three paths leave the caller's RNG at one stream position.
+        const std::uint64_t expected = barrier_rng.next_u64();
+        EXPECT_EQ(expected, inproc_rng.next_u64());
+        EXPECT_EQ(expected, socket_rng.next_u64());
+
+        expect_socket_telemetry(socket, k);
+        EXPECT_EQ(inproc.transport.kind, EngineTransport::kInproc);
+        EXPECT_EQ(inproc.transport.wire_bytes, 0u);
+        EXPECT_EQ(inproc.transport.frames, 0u);
+      }
+    }
+  }
+}
+
+TEST(DistributedTransport, VcProtocolMatchesInprocSeedForSeed) {
+  const PeelingVcCoreset coreset;
+  for (std::uint64_t seed : {3u, 4u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(250, 6.0 / 250, gen);
+    for (const std::size_t k : {4u, 6u}) {
+      Rng barrier_rng(seed);
+      const VcProtocolResult barrier =
+          run_vc_protocol(el, k, coreset, barrier_rng);
+      Rng socket_rng(seed);
+      const VcProtocolResult socket = run_vc_protocol_streaming(
+          el, k, coreset, socket_rng, /*pool=*/nullptr, socket_options());
+
+      EXPECT_EQ(barrier.solution.vertices(), socket.solution.vertices())
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(barrier.comm.total_words(), socket.comm.total_words());
+      ASSERT_EQ(barrier.summaries.size(), socket.summaries.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(barrier.summaries[i].residual_edges.edges(),
+                  socket.summaries[i].residual_edges.edges());
+        EXPECT_EQ(barrier.summaries[i].fixed_vertices,
+                  socket.summaries[i].fixed_vertices);
+      }
+      EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+      expect_socket_telemetry(socket, k);
+    }
+  }
+}
+
+TEST(DistributedTransport, WeightedDriversMatchInprocSeedForSeed) {
+  // Covers the two remaining wire shapes: kWeightedEdges (bit-exact doubles
+  // through the frame) and kVcCoresetBatch (one coreset per weight class).
+  for (std::uint64_t seed : {5u, 6u}) {
+    Rng gen(seed);
+    WeightedEdgeList w;
+    w.num_vertices = 120;
+    for (int i = 0; i < 700; ++i) {
+      const auto u = static_cast<VertexId>(gen.next_below(119));
+      w.add(u, static_cast<VertexId>(u + 1), gen.uniform_real(0.5, 16.0));
+    }
+    constexpr std::size_t k = 5;
+
+    Rng barrier_rng(seed);
+    const WeightedMatchingProtocolResult barrier =
+        weighted_matching_protocol(w, k, 0, barrier_rng);
+    Rng socket_rng(seed);
+    const WeightedMatchingProtocolResult socket =
+        weighted_matching_protocol_streaming(w, k, 0, socket_rng,
+                                             /*pool=*/nullptr,
+                                             /*class_base=*/2.0,
+                                             socket_options());
+    EXPECT_EQ(sorted_edges(barrier.solution), sorted_edges(socket.solution));
+    EXPECT_EQ(barrier.matching_weight, socket.matching_weight)
+        << "weights must cross the wire bit-exactly";
+    EXPECT_EQ(barrier.comm.total_words(), socket.comm.total_words());
+    EXPECT_EQ(barrier.max_classes_per_machine, socket.max_classes_per_machine);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+    expect_socket_telemetry(socket, k);
+
+    const EdgeList el = gnp(180, 0.05, gen);
+    VertexWeights weights(el.num_vertices());
+    for (double& x : weights) x = gen.uniform_real(1.0, 64.0);
+    Rng vc_barrier_rng(seed);
+    const WeightedVcProtocolResult vc_barrier =
+        weighted_vc_protocol(el, weights, k, vc_barrier_rng);
+    Rng vc_socket_rng(seed);
+    const WeightedVcProtocolResult vc_socket = weighted_vc_protocol_streaming(
+        el, weights, k, vc_socket_rng, /*pool=*/nullptr, socket_options());
+    EXPECT_EQ(vc_barrier.solution.vertices(), vc_socket.solution.vertices());
+    EXPECT_EQ(vc_barrier.cover_cost, vc_socket.cover_cost);
+    EXPECT_EQ(vc_barrier.weight_classes, vc_socket.weight_classes);
+    EXPECT_EQ(vc_barrier_rng.next_u64(), vc_socket_rng.next_u64());
+    expect_socket_telemetry(vc_socket, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-round combiners through run_mpc_rounds: requesting the socket
+// transport must replay the in-process barrier word for word, round for
+// round. Every round's machine phase runs in freshly forked workers.
+
+MpcEngineConfig base_config(const EdgeList& graph, std::size_t max_rounds) {
+  MpcEngineConfig config;
+  config.mpc = MpcConfig::paper_default(graph.num_vertices());
+  config.max_rounds = max_rounds;
+  config.input_already_random = true;
+  return config;
+}
+
+MpcEngineConfig socket_config(const EdgeList& graph, std::size_t max_rounds) {
+  MpcEngineConfig config = base_config(graph, max_rounds);
+  config.streaming = socket_options();
+  return config;
+}
+
+void expect_same_rounds(const MpcExecutionStats& barrier,
+                        const MpcExecutionStats& socket) {
+  EXPECT_EQ(barrier.mpc_rounds, socket.mpc_rounds);
+  EXPECT_EQ(barrier.engine_rounds, socket.engine_rounds);
+  EXPECT_EQ(barrier.total_comm_words, socket.total_comm_words);
+  ASSERT_EQ(barrier.per_round.size(), socket.per_round.size());
+  for (std::size_t i = 0; i < barrier.per_round.size(); ++i) {
+    EXPECT_EQ(barrier.per_round[i].comm_words, socket.per_round[i].comm_words)
+        << "round " << i;
+    EXPECT_EQ(barrier.per_round[i].active_edges,
+              socket.per_round[i].active_edges)
+        << "round " << i;
+    EXPECT_EQ(barrier.per_round[i].surviving_edges,
+              socket.per_round[i].surviving_edges)
+        << "round " << i;
+  }
+}
+
+TEST(DistributedTransport, CoresetMatchingRoundsMatchOverSocket) {
+  for (std::uint64_t seed : {11u, 12u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(400, 5.0 / 400, gen);
+    Rng barrier_rng(seed);
+    const CoresetMpcMatchingResult barrier = coreset_mpc_matching_rounds(
+        el, base_config(el, 3), 0, barrier_rng);
+    Rng socket_rng(seed);
+    const CoresetMpcMatchingResult socket = coreset_mpc_matching_rounds(
+        el, socket_config(el, 3), 0, socket_rng);
+    EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(socket.matching));
+    EXPECT_EQ(barrier.rounds, socket.rounds);
+    expect_same_rounds(barrier.stats, socket.stats);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+  }
+}
+
+TEST(DistributedTransport, CoresetVcRoundsMatchOverSocket) {
+  for (std::uint64_t seed : {13u, 14u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(350, 6.0 / 350, gen);
+    Rng barrier_rng(seed);
+    const CoresetMpcVcResult barrier =
+        coreset_mpc_vertex_cover_rounds(el, base_config(el, 3), barrier_rng);
+    Rng socket_rng(seed);
+    const CoresetMpcVcResult socket =
+        coreset_mpc_vertex_cover_rounds(el, socket_config(el, 3), socket_rng);
+    EXPECT_EQ(barrier.cover.vertices(), socket.cover.vertices());
+    EXPECT_EQ(barrier.rounds, socket.rounds);
+    expect_same_rounds(barrier.stats, socket.stats);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+  }
+}
+
+TEST(DistributedTransport, FilteringRoundsMatchOverSocket) {
+  for (std::uint64_t seed : {15u, 16u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(300, 0.06, gen);
+    Rng barrier_rng(seed);
+    const FilteringMpcResult barrier =
+        filtering_mpc_rounds(el, base_config(el, 12), barrier_rng);
+    Rng socket_rng(seed);
+    const FilteringMpcResult socket =
+        filtering_mpc_rounds(el, socket_config(el, 12), socket_rng);
+    EXPECT_EQ(sorted_edges(barrier.maximal_matching),
+              sorted_edges(socket.maximal_matching));
+    EXPECT_EQ(barrier.cover.vertices(), socket.cover.vertices());
+    EXPECT_EQ(barrier.filter_iterations, socket.filter_iterations);
+    expect_same_rounds(barrier.stats, socket.stats);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+  }
+}
+
+TEST(DistributedTransport, AugmentingRoundsMatchOverSocket) {
+  const AugmentingRoundsConfig aug = AugmentingRoundsConfig::for_epsilon(0.34);
+  for (std::uint64_t seed : {17u, 18u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(260, 5.0 / 260, gen);
+    Rng barrier_rng(seed);
+    const AugmentingMpcResult barrier = run_matching_rounds_augmenting(
+        el, base_config(el, 20), aug, 0, barrier_rng);
+    Rng socket_rng(seed);
+    const AugmentingMpcResult socket = run_matching_rounds_augmenting(
+        el, socket_config(el, 20), aug, 0, socket_rng);
+    EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(socket.matching));
+    EXPECT_EQ(barrier.certified, socket.certified);
+    EXPECT_EQ(barrier.total_augmentations, socket.total_augmentations);
+    expect_same_rounds(barrier.stats, socket.stats);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+  }
+}
+
+TEST(DistributedTransport, EdcsRoundsMatchOverSocket) {
+  for (std::uint64_t seed : {19u, 20u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(300, 4.0 / 300, gen);
+    Rng barrier_rng(seed);
+    const EdcsMpcResult barrier = run_matching_rounds_edcs(
+        el, base_config(el, 4), EdcsRoundsConfig{}, 0, barrier_rng);
+    Rng socket_rng(seed);
+    const EdcsMpcResult socket = run_matching_rounds_edcs(
+        el, socket_config(el, 4), EdcsRoundsConfig{}, 0, socket_rng);
+    EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(socket.matching));
+    EXPECT_EQ(barrier.cover.vertices(), socket.cover.vertices());
+    EXPECT_EQ(barrier.certified, socket.certified);
+    expect_same_rounds(barrier.stats, socket.stats);
+    EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection. A run missing a worker must fail FAST (within the
+// configured deadline) with a diagnostic naming the machine — never hang.
+// threadsafe death tests: the statement re-execs, so the fork-heavy
+// transport code runs in a clean child.
+
+TEST(DistributedTransportDeathTest, KilledWorkerTimesOutNamingMachine) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng gen(31);
+  const EdgeList el = gnp(120, 0.05, gen);
+  const PeelingVcCoreset coreset;
+  StreamingOptions opts = socket_options(/*timeout_ms=*/2000);
+  opts.socket.fault_kill_machine = 2;
+  Rng rng(31);
+  EXPECT_DEATH(
+      (void)run_vc_protocol_streaming(el, 4, coreset, rng, nullptr, opts),
+      "socket transport: timed out after 2000 ms waiting for machine "
+      "frames; missing machine ids: \\[2\\]");
+}
+
+TEST(DistributedTransportDeathTest, PartialFrameFailsNamingMachine) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng gen(32);
+  const EdgeList el = gnp(120, 0.05, gen);
+  const PeelingVcCoreset coreset;
+  StreamingOptions opts = socket_options(/*timeout_ms=*/10000);
+  opts.socket.fault_partial_frame_machine = 1;
+  Rng rng(32);
+  EXPECT_DEATH(
+      (void)run_vc_protocol_streaming(el, 4, coreset, rng, nullptr, opts),
+      "socket transport: machine 1 closed its connection mid-frame");
+}
+
+}  // namespace
+}  // namespace rcc

@@ -21,7 +21,7 @@ TEST(EdgeCases, EmptyGraphThroughMatchingProtocol) {
   const EdgeList empty(100);
   const MatchingProtocolResult r =
       coreset_matching_protocol(empty, 4, 0, rng, nullptr);
-  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_EQ(r.solution.size(), 0u);
   EXPECT_EQ(r.comm.total_words(), 0u);
 }
 
@@ -29,8 +29,8 @@ TEST(EdgeCases, EmptyGraphThroughVcProtocol) {
   Rng rng(2);
   const EdgeList empty(100);
   const VcProtocolResult r = coreset_vc_protocol(empty, 4, rng, nullptr);
-  EXPECT_EQ(r.cover.size(), 0u);
-  EXPECT_TRUE(r.cover.covers(empty));
+  EXPECT_EQ(r.solution.size(), 0u);
+  EXPECT_TRUE(r.solution.covers(empty));
 }
 
 TEST(EdgeCases, MoreMachinesThanEdges) {
@@ -40,7 +40,7 @@ TEST(EdgeCases, MoreMachinesThanEdges) {
   tiny.add(2, 3);
   const MatchingProtocolResult r =
       coreset_matching_protocol(tiny, 16, 0, rng, nullptr);
-  EXPECT_EQ(r.matching.size(), 2u);  // both edges survive somewhere
+  EXPECT_EQ(r.solution.size(), 2u);  // both edges survive somewhere
 }
 
 TEST(EdgeCases, SingleMachineProtocolIsCentralized) {
@@ -49,7 +49,7 @@ TEST(EdgeCases, SingleMachineProtocolIsCentralized) {
   const MatchingProtocolResult r =
       coreset_matching_protocol(el, 1, 0, rng, nullptr);
   // One machine's coreset is a maximum matching of all of G.
-  EXPECT_EQ(r.matching.size(), maximum_matching_size(el));
+  EXPECT_EQ(r.solution.size(), maximum_matching_size(el));
 }
 
 TEST(EdgeCases, SingleEdgeGraph) {
@@ -57,9 +57,9 @@ TEST(EdgeCases, SingleEdgeGraph) {
   EdgeList one(2);
   one.add(0, 1);
   const MatchingProtocolResult r = coreset_matching_protocol(one, 8, 0, rng, nullptr);
-  EXPECT_EQ(r.matching.size(), 1u);
+  EXPECT_EQ(r.solution.size(), 1u);
   const VcProtocolResult v = coreset_vc_protocol(one, 8, rng, nullptr);
-  EXPECT_TRUE(v.cover.covers(one));
+  EXPECT_TRUE(v.solution.covers(one));
 }
 
 TEST(EdgeCases, ParallelEdgesSurviveThePipeline) {
@@ -72,9 +72,9 @@ TEST(EdgeCases, ParallelEdgesSurviveThePipeline) {
   }
   const MatchingProtocolResult r =
       coreset_matching_protocol(multi, 3, 0, rng, nullptr);
-  EXPECT_EQ(r.matching.size(), 3u);
+  EXPECT_EQ(r.solution.size(), 3u);
   const VcProtocolResult v = coreset_vc_protocol(multi, 3, rng, nullptr);
-  EXPECT_TRUE(v.cover.covers(multi));
+  EXPECT_TRUE(v.solution.covers(multi));
 }
 
 TEST(EdgeCases, PeelingCoresetOnEmptyPiece) {
@@ -133,7 +133,7 @@ TEST(EdgeCases, DeterminismAcrossRuns) {
   Rng a(777), b(777);
   const MatchingProtocolResult ra = coreset_matching_protocol(el, 5, 0, a, nullptr);
   const MatchingProtocolResult rb = coreset_matching_protocol(el, 5, 0, b, nullptr);
-  EXPECT_EQ(ra.matching.size(), rb.matching.size());
+  EXPECT_EQ(ra.solution.size(), rb.solution.size());
   EXPECT_EQ(ra.comm.total_words(), rb.comm.total_words());
   for (std::size_t i = 0; i < 5; ++i) {
     ASSERT_EQ(ra.summaries[i].num_edges(), rb.summaries[i].num_edges());
@@ -150,8 +150,8 @@ TEST(EdgeCases, GroupedProtocolGroupLargerThanUniverse) {
   el.add(1, 6);
   // alpha enormous: one group swallowing everything; cover = whole universe
   // but still feasible.
-  const VcProtocolResult r = grouped_vc_protocol(el, 2, 1e6, rng, nullptr);
-  EXPECT_TRUE(r.cover.covers(el));
+  const GroupedVcProtocolResult r = grouped_vc_protocol(el, 2, 1e6, rng, nullptr);
+  EXPECT_TRUE(r.solution.covers(el));
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ TEST(Integration, FullCoresetBeatsBudgetedOnDMatching) {
 
   const MatchingProtocolResult full =
       coreset_matching_protocol(inst.edges, k, inst.left_size(), rng, nullptr);
-  EXPECT_GE(9 * full.matching.size(), opt);
+  EXPECT_GE(9 * full.solution.size(), opt);
 
   // A budget of n/alpha^2 per machine caps recovery around
   // k * budget * (alpha/k) = n/alpha planted edges; the composed matching is
@@ -90,7 +90,7 @@ TEST(Integration, FullCoresetBeatsBudgetedOnDMatching) {
   const MatchingProtocolResult capped = run_matching_protocol(
       inst.edges, k, budgeted, ComposeSolver::kMaximum, inst.left_size(), rng,
       nullptr);
-  EXPECT_LT(capped.matching.size() * 2, full.matching.size());
+  EXPECT_LT(capped.solution.size() * 2, full.solution.size());
 }
 
 // D_VC: with o(n/alpha) budget the summary almost never contains e*, and the
@@ -131,10 +131,10 @@ TEST(Integration, MpcAndSimultaneousAgreeOnQuality) {
       coreset_matching_protocol(el, 16, 0, rng, nullptr);
   const CoresetMpcMatchingResult mpc =
       coreset_mpc_matching(el, MpcConfig::paper_default(n), false, 0, rng);
-  EXPECT_GE(9 * sim.matching.size(), opt);
+  EXPECT_GE(9 * sim.solution.size(), opt);
   EXPECT_GE(9 * mpc.matching.size(), opt);
   // The two pipelines implement the same coreset; sizes are close.
-  const double rel = static_cast<double>(sim.matching.size()) /
+  const double rel = static_cast<double>(sim.solution.size()) /
                      static_cast<double>(mpc.matching.size());
   EXPECT_GT(rel, 0.8);
   EXPECT_LT(rel, 1.25);
@@ -148,13 +148,13 @@ TEST(Integration, QuickstartFlow) {
   ThreadPool pool(4);
   const MatchingProtocolResult result =
       coreset_matching_protocol(graph, 8, 0, rng, &pool);
-  EXPECT_TRUE(result.matching.valid());
-  EXPECT_TRUE(result.matching.subset_of(graph));
-  EXPECT_GT(result.matching.size(), 0u);
+  EXPECT_TRUE(result.solution.valid());
+  EXPECT_TRUE(result.solution.subset_of(graph));
+  EXPECT_GT(result.solution.size(), 0u);
   EXPECT_EQ(result.comm.per_machine.size(), 8u);
 
   const VcProtocolResult vc = coreset_vc_protocol(graph, 8, rng, &pool);
-  EXPECT_TRUE(vc.cover.covers(graph));
+  EXPECT_TRUE(vc.solution.covers(graph));
 }
 
 TEST(Integration, BipartiteExactPathUsedWhenTagged) {
@@ -166,9 +166,9 @@ TEST(Integration, BipartiteExactPathUsedWhenTagged) {
   // per-piece maximum.
   const MatchingProtocolResult r =
       coreset_matching_protocol(el, 4, side, rng, nullptr);
-  EXPECT_TRUE(r.matching.valid());
+  EXPECT_TRUE(r.solution.valid());
   const std::size_t opt = maximum_matching_size(el, side);
-  EXPECT_GE(9 * r.matching.size(), opt);
+  EXPECT_GE(9 * r.solution.size(), opt);
 }
 
 }  // namespace

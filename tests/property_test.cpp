@@ -125,10 +125,10 @@ TEST(ProtocolProperties, MatchingEntryPointsReturnValidMatchings) {
                                                    /*alpha=*/2.0,
                                                    inst.left_size, rng)});
       for (const Run& run : runs) {
-        expect_valid_matching(run.result.matching, inst, opt, run.name);
+        expect_valid_matching(run.result.solution, inst, opt, run.name);
         // The coordinator solved exactly the union of the summaries, so the
         // matching must be maximal there (greedy and maximum solvers both).
-        EXPECT_TRUE(run.result.matching.maximal_in(
+        EXPECT_TRUE(run.result.solution.maximal_in(
             EdgeList::union_of(run.result.summaries)))
             << run.name << " on " << inst.name;
       }
@@ -144,12 +144,12 @@ TEST(ProtocolProperties, VertexCoverEntryPointsReturnFeasibleCovers) {
           maximum_matching_size(inst.edges, inst.left_size);
       Rng rng(seed);
       expect_feasible_cover(
-          run_vc_protocol(inst.edges, kMachines, peeling, rng).cover, inst,
+          run_vc_protocol(inst.edges, kMachines, peeling, rng).solution, inst,
           opt, "run_vc_protocol");
-      expect_feasible_cover(coreset_vc_protocol(inst.edges, kMachines, rng).cover,
+      expect_feasible_cover(coreset_vc_protocol(inst.edges, kMachines, rng).solution,
                             inst, opt, "coreset_vc_protocol");
       expect_feasible_cover(
-          grouped_vc_protocol(inst.edges, kMachines, /*alpha=*/8.0, rng).cover,
+          grouped_vc_protocol(inst.edges, kMachines, /*alpha=*/8.0, rng).solution,
           inst, opt, "grouped_vc_protocol");
     }
   }
@@ -243,8 +243,8 @@ TEST(ProtocolProperties, StreamingCanonicalMatchesBarrierOnTheFullGrid) {
           coreset_matching_protocol_streaming(inst.edges, kMachines,
                                               inst.left_size, stream_rng,
                                               &pool);
-      EdgeList barrier_edges = m_barrier.matching.to_edge_list();
-      EdgeList streamed_edges = m_streamed.matching.to_edge_list();
+      EdgeList barrier_edges = m_barrier.solution.to_edge_list();
+      EdgeList streamed_edges = m_streamed.solution.to_edge_list();
       barrier_edges.sort();
       streamed_edges.sort();
       EXPECT_EQ(barrier_edges.edges(), streamed_edges.edges())
@@ -259,18 +259,18 @@ TEST(ProtocolProperties, StreamingCanonicalMatchesBarrierOnTheFullGrid) {
       Rng vc_stream_rng(seed);
       const VcProtocolResult c_streamed = coreset_vc_protocol_streaming(
           inst.edges, kMachines, vc_stream_rng, &pool);
-      EXPECT_EQ(c_barrier.cover.vertices(), c_streamed.cover.vertices())
+      EXPECT_EQ(c_barrier.solution.vertices(), c_streamed.solution.vertices())
           << "cover on " << inst.name << " seed=" << seed;
       EXPECT_EQ(c_barrier.comm.total_words(), c_streamed.comm.total_words());
       EXPECT_EQ(vc_barrier_rng.next_u64(), vc_stream_rng.next_u64());
 
       Rng g_barrier_rng(seed);
-      const VcProtocolResult g_barrier = grouped_vc_protocol(
+      const GroupedVcProtocolResult g_barrier = grouped_vc_protocol(
           inst.edges, kMachines, /*alpha=*/8.0, g_barrier_rng, &pool);
       Rng g_stream_rng(seed);
-      const VcProtocolResult g_streamed = grouped_vc_protocol_streaming(
+      const GroupedVcProtocolResult g_streamed = grouped_vc_protocol_streaming(
           inst.edges, kMachines, /*alpha=*/8.0, g_stream_rng, &pool);
-      EXPECT_EQ(g_barrier.cover.vertices(), g_streamed.cover.vertices())
+      EXPECT_EQ(g_barrier.solution.vertices(), g_streamed.solution.vertices())
           << "grouped cover on " << inst.name << " seed=" << seed;
       EXPECT_EQ(g_barrier_rng.next_u64(), g_stream_rng.next_u64());
     }
@@ -291,15 +291,15 @@ TEST(ProtocolProperties, ArrivalOrderStreamingKeepsEveryInvariant) {
       Rng m_rng(seed);
       const MatchingProtocolResult m = coreset_matching_protocol_streaming(
           inst.edges, kMachines, inst.left_size, m_rng, &pool, arrival);
-      expect_valid_matching(m.matching, inst, opt, "streaming-arrival");
+      expect_valid_matching(m.solution, inst, opt, "streaming-arrival");
       EXPECT_TRUE(
-          m.matching.maximal_in(EdgeList::union_of(m.summaries)))
+          m.solution.maximal_in(EdgeList::union_of(m.summaries)))
           << inst.name;
 
       Rng c_rng(seed);
       const VcProtocolResult c = coreset_vc_protocol_streaming(
           inst.edges, kMachines, c_rng, &pool, arrival);
-      expect_feasible_cover(c.cover, inst, opt, "streaming-arrival-vc");
+      expect_feasible_cover(c.solution, inst, opt, "streaming-arrival-vc");
     }
   }
 }

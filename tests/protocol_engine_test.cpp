@@ -149,7 +149,7 @@ TEST(ProtocolEngine, MatchingProtocolEqualsManualPartitionPlusLegacyDriver) {
   const MatchingProtocolResult manual = run_matching_protocol_on_partition(
       pieces, coreset, ComposeSolver::kMaximum, 0, manual_rng, nullptr);
 
-  EXPECT_EQ(engine.matching.size(), manual.matching.size());
+  EXPECT_EQ(engine.solution.size(), manual.solution.size());
   EXPECT_EQ(engine.comm.total_words(), manual.comm.total_words());
   ASSERT_EQ(engine.summaries.size(), manual.summaries.size());
   for (std::size_t i = 0; i < k; ++i) {
@@ -176,9 +176,9 @@ TEST(ProtocolEngine, VcProtocolEqualsManualPartitionPlusLegacyDriver) {
   const VcProtocolResult manual = run_vc_protocol_on_partition(
       pieces, coreset, el.num_vertices(), manual_rng, nullptr);
 
-  EXPECT_EQ(engine.cover.size(), manual.cover.size());
+  EXPECT_EQ(engine.solution.size(), manual.solution.size());
   EXPECT_EQ(engine.comm.total_words(), manual.comm.total_words());
-  EXPECT_TRUE(engine.cover.covers(el));
+  EXPECT_TRUE(engine.solution.covers(el));
 }
 
 TEST(ProtocolEngine, BipartiteInstanceMatchesLegacyDriverAndStaysValid) {
@@ -191,8 +191,8 @@ TEST(ProtocolEngine, BipartiteInstanceMatchesLegacyDriverAndStaysValid) {
   Rng engine_rng(55);
   const MatchingProtocolResult engine = run_matching_protocol(
       el, k, coreset, ComposeSolver::kMaximum, side, engine_rng, nullptr);
-  EXPECT_TRUE(engine.matching.valid());
-  EXPECT_TRUE(engine.matching.subset_of(el));
+  EXPECT_TRUE(engine.solution.valid());
+  EXPECT_TRUE(engine.solution.subset_of(el));
 
   Rng manual_rng(55);
   const ShardedPartition<Edge> parts = shard_random(el, k, manual_rng);
@@ -202,7 +202,7 @@ TEST(ProtocolEngine, BipartiteInstanceMatchesLegacyDriverAndStaysValid) {
   }
   const MatchingProtocolResult manual = run_matching_protocol_on_partition(
       pieces, coreset, ComposeSolver::kMaximum, side, manual_rng, nullptr);
-  EXPECT_EQ(engine.matching.size(), manual.matching.size());
+  EXPECT_EQ(engine.solution.size(), manual.solution.size());
 }
 
 TEST(ProtocolEngine, ParallelMachinePhaseMatchesSequential) {
@@ -214,7 +214,7 @@ TEST(ProtocolEngine, ParallelMachinePhaseMatchesSequential) {
       coreset_matching_protocol(el, 8, 0, a, nullptr);
   const MatchingProtocolResult par =
       coreset_matching_protocol(el, 8, 0, b, &pool);
-  EXPECT_EQ(seq.matching.size(), par.matching.size());
+  EXPECT_EQ(seq.solution.size(), par.solution.size());
   EXPECT_EQ(seq.comm.total_words(), par.comm.total_words());
 }
 
@@ -223,15 +223,15 @@ TEST(ProtocolEngine, EmptyGraphAndSingleMachine) {
   const EdgeList empty(64);
   const MatchingProtocolResult r =
       coreset_matching_protocol(empty, 4, 0, rng, nullptr);
-  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_EQ(r.solution.size(), 0u);
   EXPECT_EQ(r.comm.total_words(), 0u);
 
   Rng rng2(13);
   const EdgeList el = gnp(200, 0.05, rng2);
   const MatchingProtocolResult one =
       coreset_matching_protocol(el, 1, 0, rng2, nullptr);
-  EXPECT_TRUE(one.matching.valid());
-  EXPECT_EQ(one.matching.size(), maximum_matching_size(el));
+  EXPECT_TRUE(one.solution.valid());
+  EXPECT_EQ(one.solution.size(), maximum_matching_size(el));
 }
 
 }  // namespace

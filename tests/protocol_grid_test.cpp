@@ -55,10 +55,10 @@ TEST_P(ProtocolGrid, MatchingInvariants) {
 
   const MatchingProtocolResult r = coreset_matching_protocol(
       inst.edges, static_cast<std::size_t>(k), inst.left_size, rng, nullptr);
-  EXPECT_TRUE(r.matching.valid());
-  EXPECT_TRUE(r.matching.subset_of(inst.edges));
-  EXPECT_GE(9 * r.matching.size(), opt);
-  EXPECT_LE(r.matching.size(), opt);
+  EXPECT_TRUE(r.solution.valid());
+  EXPECT_TRUE(r.solution.subset_of(inst.edges));
+  EXPECT_GE(9 * r.solution.size(), opt);
+  EXPECT_LE(r.solution.size(), opt);
   // Per-machine message within the O(n) envelope (a matching).
   EXPECT_LE(r.comm.max_machine_words(),
             static_cast<std::uint64_t>(inst.edges.num_vertices()));
@@ -70,11 +70,11 @@ TEST_P(ProtocolGrid, VertexCoverInvariants) {
   const GridInstance inst = make_instance(family, rng);
   const VcProtocolResult r =
       coreset_vc_protocol(inst.edges, static_cast<std::size_t>(k), rng, nullptr);
-  EXPECT_TRUE(r.cover.covers(inst.edges));
+  EXPECT_TRUE(r.solution.covers(inst.edges));
   // A cover never exceeds the vertex count; with matching LB, never less
   // than MM (weak sanity both ways).
-  EXPECT_LE(r.cover.size(), inst.edges.num_vertices());
-  EXPECT_GE(r.cover.size(), maximum_matching_size(inst.edges, inst.left_size));
+  EXPECT_LE(r.solution.size(), inst.edges.num_vertices());
+  EXPECT_GE(r.solution.size(), maximum_matching_size(inst.edges, inst.left_size));
 }
 
 TEST_P(ProtocolGrid, VertexPartitionModelStillSound) {
@@ -89,12 +89,12 @@ TEST_P(ProtocolGrid, VertexPartitionModelStillSound) {
   const MaximumMatchingCoreset coreset;
   const MatchingProtocolResult r = run_matching_protocol_on_partition(
       pieces, coreset, ComposeSolver::kMaximum, inst.left_size, rng, nullptr);
-  EXPECT_TRUE(r.matching.valid());
-  EXPECT_TRUE(r.matching.subset_of(inst.edges));
+  EXPECT_TRUE(r.solution.valid());
+  EXPECT_TRUE(r.solution.subset_of(inst.edges));
   // In this model every machine holds all edges of its vertices, so the
   // composition is at least as good as the edge-partition coreset in
   // expectation; assert the same factor-9 floor.
-  EXPECT_GE(9 * r.matching.size(),
+  EXPECT_GE(9 * r.solution.size(),
             maximum_matching_size(inst.edges, inst.left_size));
 }
 

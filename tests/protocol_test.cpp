@@ -40,8 +40,8 @@ TEST(MatchingProtocol, EndToEndValidAndAccounted) {
   const EdgeList el = gnp(n, 4.0 / n, rng);
   const MatchingProtocolResult r =
       coreset_matching_protocol(el, 8, 0, rng, nullptr);
-  EXPECT_TRUE(r.matching.valid());
-  EXPECT_TRUE(r.matching.subset_of(el));
+  EXPECT_TRUE(r.solution.valid());
+  EXPECT_TRUE(r.solution.subset_of(el));
   ASSERT_EQ(r.comm.per_machine.size(), 8u);
   // The ledger counts exactly the summary edges.
   std::uint64_t edges = 0;
@@ -62,7 +62,7 @@ TEST(MatchingProtocol, ParallelAndSequentialGiveSameResult) {
       coreset_matching_protocol(el, 6, 0, rng_seq, nullptr);
   const MatchingProtocolResult par =
       coreset_matching_protocol(el, 6, 0, rng_par, &pool);
-  EXPECT_EQ(seq.matching.size(), par.matching.size());
+  EXPECT_EQ(seq.solution.size(), par.solution.size());
   EXPECT_EQ(seq.comm.total_words(), par.comm.total_words());
   for (std::size_t i = 0; i < 6; ++i) {
     EXPECT_EQ(seq.summaries[i].num_edges(), par.summaries[i].num_edges());
@@ -76,7 +76,7 @@ TEST(MatchingProtocol, ConstantFactorOnRandomGraphs) {
   const std::size_t opt = maximum_matching_size(el);
   const MatchingProtocolResult r =
       coreset_matching_protocol(el, 10, 0, rng, nullptr);
-  EXPECT_GE(9 * r.matching.size(), opt);  // Theorem 1 bound
+  EXPECT_GE(9 * r.solution.size(), opt);  // Theorem 1 bound
 }
 
 TEST(SubsampledProtocol, CommunicationDropsQuadratically) {
@@ -94,7 +94,7 @@ TEST(SubsampledProtocol, CommunicationDropsQuadratically) {
                         static_cast<double>(full.comm.total_words());
   EXPECT_NEAR(shrink, 0.25, 0.05);
   // The matching found is ~1/alpha of optimum.
-  EXPECT_NEAR(static_cast<double>(sub.matching.size()) / side, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(sub.solution.size()) / side, 0.25, 0.05);
 }
 
 TEST(VcProtocol, CoversAndLogApproximates) {
@@ -102,9 +102,9 @@ TEST(VcProtocol, CoversAndLogApproximates) {
   const VertexId side = 3000;
   const EdgeList el = random_bipartite(side, side, 3.0 / side, rng);
   const VcProtocolResult r = coreset_vc_protocol(el, 8, rng, nullptr);
-  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_TRUE(r.solution.covers(el));
   const std::size_t opt = konig_vc_size(bipartite_graph(el, side));
-  EXPECT_LE(static_cast<double>(r.cover.size()),
+  EXPECT_LE(static_cast<double>(r.solution.size()),
             4.0 * std::log2(2.0 * side) * static_cast<double>(opt));
   ASSERT_EQ(r.comm.per_machine.size(), 8u);
   EXPECT_GT(r.comm.total_words(), 0u);
@@ -117,15 +117,15 @@ TEST(VcProtocol, ParallelMatchesSequential) {
   Rng a(55), b(55);
   const VcProtocolResult seq = coreset_vc_protocol(el, 5, a, nullptr);
   const VcProtocolResult par = coreset_vc_protocol(el, 5, b, &pool);
-  EXPECT_EQ(seq.cover.size(), par.cover.size());
+  EXPECT_EQ(seq.solution.size(), par.solution.size());
 }
 
 TEST(GroupedVcProtocol, CoverIsFeasible) {
   Rng rng(7);
   const VertexId side = 4000;
   const EdgeList el = random_bipartite(side, side, 2.0 / side, rng);
-  const VcProtocolResult r = grouped_vc_protocol(el, 8, 64.0, rng, nullptr);
-  EXPECT_TRUE(r.cover.covers(el));
+  const GroupedVcProtocolResult r = grouped_vc_protocol(el, 8, 64.0, rng, nullptr);
+  EXPECT_TRUE(r.solution.covers(el));
 }
 
 TEST(GroupedVcProtocol, CommunicationShrinksWithAlpha) {
@@ -140,8 +140,8 @@ TEST(GroupedVcProtocol, CommunicationShrinksWithAlpha) {
   const VertexId side = 4000;
   const EdgeList el = random_bipartite(side, side, 100.0 / side, rng);
   const std::size_t k = 8;
-  const VcProtocolResult fine = grouped_vc_protocol(el, k, 26.0, rng, nullptr);
-  const VcProtocolResult coarse = grouped_vc_protocol(el, k, 128.0, rng, nullptr);
+  const GroupedVcProtocolResult fine = grouped_vc_protocol(el, k, 26.0, rng, nullptr);
+  const GroupedVcProtocolResult coarse = grouped_vc_protocol(el, k, 128.0, rng, nullptr);
   EXPECT_LT(2 * coarse.comm.total_words(), fine.comm.total_words());
 }
 
@@ -150,8 +150,8 @@ TEST(GroupedVcProtocol, AlphaBelowLogDegeneratesToUngrouped) {
   const VertexId side = 500;
   const EdgeList el = random_bipartite(side, side, 4.0 / side, rng);
   // alpha < log2 n => group size 1; must behave like the plain protocol.
-  const VcProtocolResult r = grouped_vc_protocol(el, 4, 1.0, rng, nullptr);
-  EXPECT_TRUE(r.cover.covers(el));
+  const GroupedVcProtocolResult r = grouped_vc_protocol(el, 4, 1.0, rng, nullptr);
+  EXPECT_TRUE(r.solution.covers(el));
 }
 
 TEST(MatchingProtocol, AdversarialPartitionStillSound) {
@@ -163,8 +163,8 @@ TEST(MatchingProtocol, AdversarialPartitionStillSound) {
   const MaximumMatchingCoreset coreset;
   const MatchingProtocolResult r = run_matching_protocol_on_partition(
       pieces, coreset, ComposeSolver::kMaximum, 0, rng, nullptr);
-  EXPECT_TRUE(r.matching.valid());
-  EXPECT_TRUE(r.matching.subset_of(el));
+  EXPECT_TRUE(r.solution.valid());
+  EXPECT_TRUE(r.solution.subset_of(el));
 }
 
 }  // namespace

@@ -54,7 +54,7 @@ TEST(StreamingEngine, CanonicalMatchingMatchesBarrierSeedForSeed) {
       const MatchingProtocolResult streamed = run_matching_protocol_streaming(
           el, kMachines, coreset, ComposeSolver::kMaximum, 0, stream_rng, p);
 
-      EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(streamed.matching))
+      EXPECT_EQ(sorted_edges(barrier.solution), sorted_edges(streamed.solution))
           << "seed=" << seed << " pooled=" << pooled;
       EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
       ASSERT_EQ(barrier.summaries.size(), streamed.summaries.size());
@@ -85,7 +85,7 @@ TEST(StreamingEngine, CanonicalVcMatchesBarrierSeedForSeed) {
       const VcProtocolResult streamed =
           run_vc_protocol_streaming(el, kMachines, coreset, stream_rng, p);
 
-      EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices())
+      EXPECT_EQ(barrier.solution.vertices(), streamed.solution.vertices())
           << "seed=" << seed << " pooled=" << pooled;
       EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
       EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
@@ -99,12 +99,12 @@ TEST(StreamingEngine, CanonicalGroupedVcMatchesBarrierSeedForSeed) {
     const EdgeList el = gnp(256, 0.04, gen);
     ThreadPool pool(3);
     Rng barrier_rng(seed);
-    const VcProtocolResult barrier =
+    const GroupedVcProtocolResult barrier =
         grouped_vc_protocol(el, kMachines, /*alpha=*/8.0, barrier_rng, &pool);
     Rng stream_rng(seed);
-    const VcProtocolResult streamed = grouped_vc_protocol_streaming(
+    const GroupedVcProtocolResult streamed = grouped_vc_protocol_streaming(
         el, kMachines, /*alpha=*/8.0, stream_rng, &pool);
-    EXPECT_EQ(barrier.cover.vertices(), streamed.cover.vertices());
+    EXPECT_EQ(barrier.solution.vertices(), streamed.solution.vertices());
     EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
     EXPECT_EQ(barrier_rng.next_u64(), stream_rng.next_u64());
   }
@@ -128,7 +128,7 @@ TEST(StreamingEngine, CanonicalWeightedDriversMatchBarrierSeedForSeed) {
     const WeightedMatchingProtocolResult streamed =
         weighted_matching_protocol_streaming(w, kMachines, 0, stream_rng,
                                              &pool);
-    EXPECT_EQ(sorted_edges(barrier.matching), sorted_edges(streamed.matching));
+    EXPECT_EQ(sorted_edges(barrier.solution), sorted_edges(streamed.solution));
     EXPECT_DOUBLE_EQ(barrier.matching_weight, streamed.matching_weight);
     EXPECT_EQ(barrier.comm.total_words(), streamed.comm.total_words());
     EXPECT_EQ(barrier.max_classes_per_machine,
@@ -144,7 +144,7 @@ TEST(StreamingEngine, CanonicalWeightedDriversMatchBarrierSeedForSeed) {
     Rng vc_stream_rng(seed);
     const WeightedVcProtocolResult vc_streamed = weighted_vc_protocol_streaming(
         el, weights, kMachines, vc_stream_rng, &pool);
-    EXPECT_EQ(vc_barrier.cover.vertices(), vc_streamed.cover.vertices());
+    EXPECT_EQ(vc_barrier.solution.vertices(), vc_streamed.solution.vertices());
     EXPECT_DOUBLE_EQ(vc_barrier.cover_cost, vc_streamed.cover_cost);
     EXPECT_EQ(vc_barrier.weight_classes, vc_streamed.weight_classes);
     EXPECT_EQ(vc_barrier_rng.next_u64(), vc_stream_rng.next_u64());
@@ -260,7 +260,7 @@ TEST(StreamingEngine, BoundedQueueCapacitiesPreserveCanonicalEquality) {
     Rng rng(10);
     const MatchingProtocolResult streamed = run_matching_protocol_streaming(
         el, kMachines, coreset, ComposeSolver::kMaximum, 0, rng, &pool, opts);
-    EXPECT_EQ(sorted_edges(reference.matching), sorted_edges(streamed.matching))
+    EXPECT_EQ(sorted_edges(reference.solution), sorted_edges(streamed.solution))
         << "capacity=" << capacity;
     EXPECT_EQ(reference.comm.total_words(), streamed.comm.total_words());
   }
@@ -280,16 +280,16 @@ TEST(StreamingEngine, ArrivalOrderKeepsInvariantsAcrossThreadCounts) {
       const MatchingProtocolResult m = run_matching_protocol_streaming(
           el, kMachines, matching_coreset, ComposeSolver::kMaximum, 0, m_rng,
           &pool, arrival);
-      EXPECT_TRUE(m.matching.valid());
-      EXPECT_TRUE(m.matching.subset_of(el));
+      EXPECT_TRUE(m.solution.valid());
+      EXPECT_TRUE(m.solution.subset_of(el));
       EXPECT_TRUE(
-          m.matching.maximal_in(EdgeList::union_of(m.summaries)))
+          m.solution.maximal_in(EdgeList::union_of(m.summaries)))
           << "threads=" << threads;
 
       Rng c_rng(seed);
       const VcProtocolResult c = run_vc_protocol_streaming(
           el, kMachines, vc_coreset, c_rng, &pool, arrival);
-      EXPECT_TRUE(c.cover.covers(el)) << "threads=" << threads;
+      EXPECT_TRUE(c.solution.covers(el)) << "threads=" << threads;
     }
   }
 }

@@ -26,7 +26,7 @@ TEST(WeightedMatchingProtocol, ProducesValidMatchingWithAccounting) {
   const WeightedEdgeList graph = random_weighted_bipartite(side, 0.05, 64.0, rng);
   const WeightedMatchingProtocolResult r =
       weighted_matching_protocol(graph, 6, side, rng);
-  EXPECT_TRUE(r.matching.valid());
+  EXPECT_TRUE(r.solution.valid());
   EXPECT_GT(r.matching_weight, 0.0);
   EXPECT_EQ(r.comm.per_machine.size(), 6u);
   EXPECT_GT(r.comm.total_words(), 0u);
@@ -74,7 +74,7 @@ TEST(WeightedMatchingProtocol, EmptyGraph) {
   empty.num_vertices = 10;
   const WeightedMatchingProtocolResult r =
       weighted_matching_protocol(empty, 4, 0, rng);
-  EXPECT_EQ(r.matching.size(), 0u);
+  EXPECT_EQ(r.solution.size(), 0u);
   EXPECT_DOUBLE_EQ(r.matching_weight, 0.0);
 }
 

@@ -109,7 +109,7 @@ TEST(WeightedVcProtocol, FeasibleAndWeightAware) {
   const EdgeList el = random_bipartite(side, side, 4.0 / side, rng);
   const VertexWeights w = uniform_weights(2 * side, 1.0, 64.0, rng);
   const WeightedVcProtocolResult r = weighted_vc_protocol(el, w, 8, rng);
-  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_TRUE(r.solution.covers(el));
   EXPECT_GT(r.weight_classes, 1u);
   EXPECT_LE(r.weight_classes, 8u);  // log2(64) + 1 classes at most
   // Sanity against the centralized local-ratio: within a generous factor.
@@ -123,7 +123,7 @@ TEST(WeightedVcProtocol, UnitWeightsSingleClass) {
   const EdgeList el = gnp(1000, 6.0 / 1000, rng);
   const VertexWeights w(1000, 2.0);
   const WeightedVcProtocolResult r = weighted_vc_protocol(el, w, 4, rng);
-  EXPECT_TRUE(r.cover.covers(el));
+  EXPECT_TRUE(r.solution.covers(el));
   EXPECT_EQ(r.weight_classes, 1u);
 }
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py, run by CTest (compare_bench_selftest).
+
+Drives the real CLI through subprocess on synthetic bench_suite JSON
+fixtures, pinning the behaviors CI leans on:
+
+  * the ±threshold band: a row exactly AT the threshold stays steady, one
+    just past it counts (regression or improvement),
+  * --fail-on-regression: exit 1 on a trusted regression, exit 0 otherwise,
+  * the scale-mismatch guard refuses to compare baselines across scales,
+  * the load-average gate: an untrusted comparison tags rows UNTRUSTED and
+    suppresses --fail-on-regression. The machine's real load is whatever it
+    is, so the fixtures force each side: --load-threshold -1 makes any load
+    untrusted, 1e9 makes any load trusted.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "compare_bench.py")
+
+TRUSTED = ["--load-threshold", "1e9"]
+UNTRUSTED = ["--load-threshold", "-1"]
+
+
+def suite(scale, seconds_by_row):
+    return {
+        "scale": scale,
+        "rows": [
+            {"scenario": s, "family": f, "k": k, "rounds": r,
+             "seconds_median": sec}
+            for (s, f, k, r), sec in seconds_by_row.items()
+        ],
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, data):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        return path
+
+    def run_tool(self, *args):
+        return subprocess.run(
+            [sys.executable, TOOL, *args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+    ROW = ("matching", "coreset", 8, 1)
+
+    def compare(self, base_sec, cur_sec, *args):
+        base = self.write("base.json", suite(1.0, {self.ROW: base_sec}))
+        cur = self.write("cur.json", suite(1.0, {self.ROW: cur_sec}))
+        return self.run_tool(base, cur, *args)
+
+    def test_row_at_the_threshold_stays_steady(self):
+        # A row exactly AT the threshold is NOT a regression (strict >); with
+        # --fail-on-regression the run still exits 0. Uses ±25% — 1.25 is
+        # exact in binary, so "exactly at" means exactly at (1.1 at ±10%
+        # would sit one ulp past the band).
+        result = self.compare(1.0, 1.25, "--threshold", "0.25",
+                              "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertNotIn("REGRESSIONS", result.stdout)
+        self.assertIn("within threshold: 1 rows", result.stdout)
+
+    def test_row_past_the_threshold_regresses(self):
+        result = self.compare(1.0, 1.11, "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSIONS", result.stdout)
+
+    def test_regression_without_fail_flag_exits_zero(self):
+        result = self.compare(1.0, 2.0, *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("REGRESSIONS", result.stdout)
+
+    def test_improvement_past_the_threshold_is_reported(self):
+        result = self.compare(1.0, 0.89, "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("improvements", result.stdout)
+        self.assertNotIn("REGRESSIONS", result.stdout)
+
+    def test_custom_threshold_band(self):
+        # At ±50%, a 40% slowdown is steady; a 60% slowdown regresses.
+        result = self.compare(1.0, 1.4, "--threshold", "0.5",
+                              "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        result = self.compare(1.0, 1.6, "--threshold", "0.5",
+                              "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_scale_mismatch_refuses_to_compare(self):
+        base = self.write("base.json", suite(1.0, {self.ROW: 1.0}))
+        cur = self.write("cur.json", suite(0.25, {self.ROW: 1.0}))
+        result = self.run_tool(base, cur, *TRUSTED)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("scale mismatch", result.stdout)
+
+    def test_missing_rows_never_fail(self):
+        base = self.write("base.json", suite(1.0, {
+            self.ROW: 1.0, ("vc", "peeling", 4, 1): 2.0}))
+        cur = self.write("cur.json", suite(1.0, {
+            self.ROW: 1.0, ("vc", "peeling", 16, 1): 2.0}))
+        result = self.run_tool(base, cur, "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("rows only in baseline", result.stdout)
+        self.assertIn("rows only in current", result.stdout)
+
+    def test_untrusted_load_tags_rows_and_suppresses_failure(self):
+        result = self.compare(1.0, 2.0, "--fail-on-regression", *UNTRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("UNTRUSTED", result.stdout)
+        self.assertIn("[UNTRUSTED]", result.stdout)  # the row tag itself
+        self.assertIn("not failing the run", result.stdout)
+
+    def test_untrusted_warning_reaches_github_annotations(self):
+        result = self.compare(1.0, 2.0, "--github-annotations", *UNTRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("::warning title=bench comparison untrusted::",
+                      result.stdout)
+
+    def test_trusted_run_has_no_untrusted_tags(self):
+        result = self.compare(1.0, 1.0, *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertNotIn("UNTRUSTED", result.stdout)
+
+    def test_not_a_bench_json_is_rejected(self):
+        base = self.write("base.json", {"nope": []})
+        cur = self.write("cur.json", suite(1.0, {self.ROW: 1.0}))
+        result = self.run_tool(base, cur, *TRUSTED)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("not a bench_suite JSON", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
