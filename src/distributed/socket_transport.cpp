@@ -130,7 +130,8 @@ FrameCollector::FrameCollector(const LoopbackListener& listener,
     : listener_fd_(listener.fd()),
       expected_(expected),
       timeout_ms_(timeout_ms),
-      seen_machine_(expected, 0) {}
+      seen_machine_(expected, 0),
+      claimed_machine_(expected, 0) {}
 
 FrameCollector::~FrameCollector() {
   for (const Connection& conn : connections_) {
@@ -154,6 +155,9 @@ void FrameCollector::fail_missing() const {
 void FrameCollector::pump(int deadline_ms_remaining) {
   std::vector<pollfd> fds;
   fds.push_back(pollfd{listener_fd_, POLLIN, 0});
+  // Only the connections that existed when fds was built have a pollfd
+  // entry; a connection accepted below is read on the NEXT pump.
+  const std::size_t polled_connections = connections_.size();
   for (const Connection& conn : connections_) {
     if (conn.fd >= 0) fds.push_back(pollfd{conn.fd, POLLIN, 0});
   }
@@ -170,6 +174,9 @@ void FrameCollector::pump(int deadline_ms_remaining) {
       const int fd = ::accept(listener_fd_, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        // A peer that aborted while queued in the backlog is not a
+        // coordinator failure: the deadline path names the missing machine.
+        if (errno == ECONNABORTED || errno == EPROTO) break;
         transport_fail("accept(): %s", strerror(errno));
       }
       Connection conn;
@@ -179,9 +186,11 @@ void FrameCollector::pump(int deadline_ms_remaining) {
     }
   }
 
-  // Readable connections: pull bytes, reassemble frames.
+  // Readable connections: pull bytes, reassemble frames. Bounded to the
+  // connections that were polled — never the one just accepted.
   std::size_t fd_index = 1;
-  for (Connection& conn : connections_) {
+  for (std::size_t ci = 0; ci < polled_connections; ++ci) {
+    Connection& conn = connections_[ci];
     if (conn.fd < 0) continue;
     const pollfd& pfd = fds[fd_index++];
     if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
@@ -230,9 +239,13 @@ void FrameCollector::pump(int deadline_ms_remaining) {
         transport_fail("frame names machine %u but only %zu machines exist",
                        conn.header.machine, expected_);
       }
-      if (seen_machine_[conn.header.machine] != 0) {
+      // Claimed at HEADER-parse time, not completion: two concurrent
+      // connections claiming one id must fail on the second header, or the
+      // genuinely missing machine could absorb twice under arrival order.
+      if (claimed_machine_[conn.header.machine] != 0) {
         transport_fail("duplicate frame for machine %u", conn.header.machine);
       }
+      claimed_machine_[conn.header.machine] = 1;
     }
     if (conn.header_parsed &&
         conn.buffer.size() >= kFrameHeaderBytes + conn.header.payload_bytes) {

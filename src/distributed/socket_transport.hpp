@@ -142,7 +142,8 @@ class FrameCollector {
   std::size_t expected_;
   int timeout_ms_;
   std::vector<Connection> connections_;
-  std::vector<char> seen_machine_;
+  std::vector<char> seen_machine_;    // frame COMPLETED (timeout diagnostic)
+  std::vector<char> claimed_machine_; // header parsed claiming this id
   std::deque<ReadyFrame> ready_;
   std::size_t delivered_ = 0;
   std::size_t completed_ = 0;

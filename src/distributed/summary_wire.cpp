@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "distributed/protocols.hpp"
+
 namespace rcc {
 
 void wire_fail(const char* fmt, ...) {
@@ -244,6 +246,37 @@ std::vector<VcCoresetOutput> SummaryCodec<std::vector<VcCoresetOutput>>::decode(
     batch.push_back(SummaryCodec<VcCoresetOutput>::decode(reader));
   }
   return batch;
+}
+
+void SummaryCodec<GroupedVcSummary>::encode(const GroupedVcSummary& summary,
+                                            WireWriter& writer) {
+  SummaryCodec<VcCoresetOutput>::encode(summary.core, writer);
+  writer.u64(summary.pinned_groups.size());
+  for (const VertexId group : summary.pinned_groups) writer.u32(group);
+}
+
+GroupedVcSummary SummaryCodec<GroupedVcSummary>::decode(WireReader& reader) {
+  GroupedVcSummary summary;
+  summary.core = SummaryCodec<VcCoresetOutput>::decode(reader);
+  // Pinned group ids live in the same contracted universe as the core.
+  const VertexId n_groups = summary.core.residual_edges.num_vertices();
+  const std::uint64_t pinned = reader.u64();
+  if (pinned > reader.remaining() / 4) {
+    wire_fail(
+        "grouped vc summary claims %llu pinned groups but only %zu payload "
+        "bytes remain",
+        static_cast<unsigned long long>(pinned), reader.remaining());
+  }
+  summary.pinned_groups.reserve(static_cast<std::size_t>(pinned));
+  for (std::uint64_t i = 0; i < pinned; ++i) {
+    const VertexId group = reader.u32();
+    if (group >= n_groups) {
+      wire_fail("pinned group %llu = %u leaves the %u-group universe",
+                static_cast<unsigned long long>(i), group, n_groups);
+    }
+    summary.pinned_groups.push_back(group);
+  }
+  return summary;
 }
 
 }  // namespace rcc

@@ -182,6 +182,18 @@ struct SummaryCodec<std::vector<VcCoresetOutput>> {
   static std::vector<VcCoresetOutput> decode(WireReader& reader);
 };
 
+struct GroupedVcSummary;  // distributed/protocols.hpp
+
+template <>
+struct SummaryCodec<GroupedVcSummary> {
+  static constexpr SummaryShape kShape = SummaryShape::kGroupedVc;
+  // Layout: VcCoresetOutput core (in the contracted group universe — its
+  // residual edge list's num_vertices IS the group count), u64 pinned-group
+  // count, u32 per pinned group id.
+  static void encode(const GroupedVcSummary& summary, WireWriter& writer);
+  static GroupedVcSummary decode(WireReader& reader);
+};
+
 /// Decoded frame header; `payload_bytes` bytes of payload follow on the wire.
 struct FrameHeader {
   SummaryShape shape;

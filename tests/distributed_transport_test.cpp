@@ -7,8 +7,9 @@
 //       exact solutions, word-exact communication ledgers, per-machine
 //       summary sizes, round counts, and the caller's RNG stream position —
 //       across a generator x seed x k grid for every single-round protocol
-//       driver and every streaming-capable multi-round combiner (coreset
-//       matching, coreset VC, filtering, augmenting, EDCS),
+//       driver (matching, VC, grouped VC, both weighted drivers) and every
+//       streaming-capable multi-round combiner (coreset matching, coreset
+//       VC, filtering, augmenting, EDCS),
 //   (b) transport telemetry reports what actually crossed the process
 //       boundary: k frames, framed bytes >= k headers, kInproc reporting
 //       zeros,
@@ -26,6 +27,7 @@
 #include "coreset/vc_coreset.hpp"
 #include "distributed/protocol.hpp"
 #include "distributed/protocols.hpp"
+#include "distributed/socket_transport.hpp"
 #include "distributed/summary_wire.hpp"
 #include "distributed/weighted_matching_protocol.hpp"
 #include "distributed/weighted_vc_protocol.hpp"
@@ -128,6 +130,44 @@ TEST(DistributedTransport, VcProtocolMatchesInprocSeedForSeed) {
       }
       EXPECT_EQ(barrier_rng.next_u64(), socket_rng.next_u64());
       expect_socket_telemetry(socket, k);
+    }
+  }
+}
+
+TEST(DistributedTransport, GroupedVcProtocolMatchesInprocSeedForSeed) {
+  // kGroupedVc on the wire: core coreset in the contracted group universe
+  // plus the machine's pinned group ids.
+  for (std::uint64_t seed : {7u, 8u}) {
+    Rng gen(seed);
+    const EdgeList el = gnp(240, 6.0 / 240, gen);
+    for (const std::size_t k : {4u, 6u}) {
+      for (const double alpha : {26.0, 96.0}) {
+        Rng barrier_rng(seed);
+        const GroupedVcProtocolResult barrier =
+            grouped_vc_protocol(el, k, alpha, barrier_rng);
+        Rng inproc_rng(seed);
+        const GroupedVcProtocolResult inproc =
+            grouped_vc_protocol_streaming(el, k, alpha, inproc_rng);
+        Rng socket_rng(seed);
+        const GroupedVcProtocolResult socket = grouped_vc_protocol_streaming(
+            el, k, alpha, socket_rng, /*pool=*/nullptr, socket_options());
+
+        EXPECT_EQ(barrier.solution.vertices(), socket.solution.vertices())
+            << "seed=" << seed << " k=" << k << " alpha=" << alpha;
+        EXPECT_EQ(inproc.solution.vertices(), socket.solution.vertices());
+        EXPECT_EQ(barrier.comm.total_words(), socket.comm.total_words());
+        ASSERT_EQ(barrier.summaries.size(), socket.summaries.size());
+        for (std::size_t i = 0; i < k; ++i) {
+          // Both folds move the core out of the retained summary; the pinned
+          // groups stay behind and must have crossed the wire intact.
+          EXPECT_EQ(barrier.summaries[i].pinned_groups,
+                    socket.summaries[i].pinned_groups);
+        }
+        const std::uint64_t expected = barrier_rng.next_u64();
+        EXPECT_EQ(expected, inproc_rng.next_u64());
+        EXPECT_EQ(expected, socket_rng.next_u64());
+        expect_socket_telemetry(socket, k);
+      }
     }
   }
 }
@@ -324,6 +364,32 @@ TEST(DistributedTransportDeathTest, KilledWorkerTimesOutNamingMachine) {
       (void)run_vc_protocol_streaming(el, 4, coreset, rng, nullptr, opts),
       "socket transport: timed out after 2000 ms waiting for machine "
       "frames; missing machine ids: \\[2\\]");
+}
+
+TEST(DistributedTransportDeathTest, ConcurrentDuplicateMachineIdDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        // Two LIVE connections claim machine 0: the first parks after its
+        // header, the second sends a complete frame. The duplicate must die
+        // at the second header parse — waiting for the first claimant to
+        // COMPLETE would let both absorb under arrival order while the
+        // genuinely missing machine 1 never times out.
+        LoopbackListener listener(0);
+        FrameCollector collector(listener, /*expected=*/2,
+                                 /*timeout_ms=*/5000);
+        EdgeList el(4);
+        el.add(0, 1);
+        const std::vector<std::uint8_t> frame =
+            encode_frame(el, /*machine=*/0);
+        const int header_only = connect_to_leader(listener.port(), 1000);
+        send_all(header_only, frame.data(), kFrameHeaderBytes);
+        const int duplicate = connect_to_leader(listener.port(), 1000);
+        send_all(duplicate, frame.data(), frame.size());
+        (void)collector.next_ready();
+        (void)collector.next_ready();
+      },
+      "socket transport: duplicate frame for machine 0");
 }
 
 TEST(DistributedTransportDeathTest, PartialFrameFailsNamingMachine) {

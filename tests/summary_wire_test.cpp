@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "distributed/protocols.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
 
@@ -104,10 +105,26 @@ TEST(SummaryWire, VcCoresetBatchRoundTrips) {
   }
 }
 
+TEST(SummaryWire, GroupedVcSummaryRoundTrips) {
+  Rng rng(13);
+  GroupedVcSummary summary;
+  summary.core.residual_edges = gnp(60, 0.06, rng);  // the group universe
+  summary.core.fixed_vertices = {2, 5, 59};
+  summary.pinned_groups = {0, 7, 41, 59};
+  const GroupedVcSummary back = round_trip(summary);
+  EXPECT_EQ(back.core.residual_edges.edges(),
+            summary.core.residual_edges.edges());
+  EXPECT_EQ(back.core.fixed_vertices, summary.core.fixed_vertices);
+  EXPECT_EQ(back.pinned_groups, summary.pinned_groups);
+}
+
 TEST(SummaryWire, EmptySummariesRoundTrip) {
   EXPECT_EQ(round_trip(EdgeList(0)).num_edges(), 0u);
   EXPECT_TRUE(round_trip(std::vector<AugmentingPath>{}).empty());
   EXPECT_TRUE(round_trip(std::vector<VcCoresetOutput>{}).empty());
+  const GroupedVcSummary empty_grouped = round_trip(GroupedVcSummary{});
+  EXPECT_EQ(empty_grouped.core.residual_edges.num_edges(), 0u);
+  EXPECT_TRUE(empty_grouped.pinned_groups.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +272,30 @@ TEST(SummaryWireDeathTest, LyingLengthPrefixesDie) {
   EXPECT_DEATH(
       (void)SummaryCodec<std::vector<AugmentingPath>>::decode(batch_reader),
       "summary wire: path 0 claims 1000 vertices");
+
+  // And for a grouped summary lying about its pinned-group count.
+  std::vector<std::uint8_t> grouped;
+  WireWriter grouped_writer(grouped);
+  grouped_writer.u32(4);  // core: empty edge list over 4 groups
+  grouped_writer.u64(0);
+  grouped_writer.u64(0);  // no fixed vertices
+  grouped_writer.u64(std::uint64_t{1} << 60);
+  WireReader grouped_reader(grouped.data(), grouped.size());
+  EXPECT_DEATH((void)SummaryCodec<GroupedVcSummary>::decode(grouped_reader),
+               "summary wire: grouped vc summary claims .* pinned groups");
+}
+
+TEST(SummaryWireDeathTest, OutOfRangePinnedGroupDies) {
+  std::vector<std::uint8_t> payload;
+  WireWriter writer(payload);
+  writer.u32(4);  // core: empty edge list over a 4-group universe
+  writer.u64(0);
+  writer.u64(0);  // no fixed vertices
+  writer.u64(1);  // one pinned group...
+  writer.u32(4);  // ...== n_groups: out of range
+  WireReader reader(payload.data(), payload.size());
+  EXPECT_DEATH((void)SummaryCodec<GroupedVcSummary>::decode(reader),
+               "summary wire: pinned group 0 = 4 leaves the 4-group universe");
 }
 
 }  // namespace
