@@ -11,6 +11,8 @@
 // Output: a table on stdout, and with --json a machine-readable file that
 // tools/compare_bench.py diffs against the checked-in baseline (±10%
 // threshold in CI, non-gating).
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -18,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_pack.hpp"
 #include "mpc/augmenting_rounds.hpp"
 #include "mpc/coreset_mpc.hpp"
 #include "mpc/edcs_rounds.hpp"
@@ -38,6 +41,16 @@ struct Family {
   EdgeList edges;
 };
 
+/// gnm requires m <= n*(n-1)/2. Small --scale values shrink n (floored at 8)
+/// faster than m — at scale 0.1 the dense family asks for 20000 edges on 200
+/// vertices (universe 19900) — so every gnm family clamps m to its universe
+/// instead of tripping the generator's invariant.
+std::uint64_t clamp_to_universe(VertexId n, std::uint64_t m) {
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  return std::min(m, universe);
+}
+
 std::vector<Family> make_families(double scale, std::uint64_t seed) {
   const auto sz = [&](double base) {
     return static_cast<VertexId>(std::max(8.0, base * scale));
@@ -45,13 +58,15 @@ std::vector<Family> make_families(double scale, std::uint64_t seed) {
   std::vector<Family> families;
   {
     Rng rng(seed);
+    const VertexId n = sz(24000);
     families.push_back(
-        {"sparse", 0, gnm(sz(24000), static_cast<std::uint64_t>(sz(96000)), rng)});
+        {"sparse", 0, gnm(n, clamp_to_universe(n, sz(96000)), rng)});
   }
   {
     Rng rng(seed + 1);
+    const VertexId n = sz(2000);
     families.push_back(
-        {"dense", 0, gnm(sz(2000), static_cast<std::uint64_t>(sz(200000)), rng)});
+        {"dense", 0, gnm(n, clamp_to_universe(n, sz(200000)), rng)});
   }
   {
     Rng rng(seed + 2);
@@ -80,7 +95,19 @@ struct Row {
   double seconds_median = 0.0;
   double seconds_min = 0.0;
   double edges_per_sec = 0.0;
+  std::uint64_t file_bytes = 0;     // .rgp size on disk (packed rows only)
+  std::uint64_t peak_rss_bytes = 0; // process high-water RSS after the row
 };
+
+/// Process peak resident set (high-water mark, monotone over the process
+/// lifetime). Meaningful for out-of-core claims only when the packed rows
+/// run alone (--family packed): the in-memory families would raise the mark
+/// to their own working set first.
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // Linux: KiB
+}
 
 struct RunOutcome {
   std::size_t engine_rounds = 1;
@@ -111,16 +138,16 @@ RunOutcome processed_of(const MpcExecutionStats& stats) {
 /// One pinned grid row: `run` executes the scenario once and reports what it
 /// processed; the harness repeats it and keeps median/min wall time.
 template <typename RunFn>
-Row measure(const std::string& scenario, const Family& f, std::size_t k,
-            std::size_t rounds, int reps, std::uint64_t seed,
-            const RunFn& run) {
+Row measure(const std::string& scenario, const std::string& family,
+            std::size_t k, std::size_t rounds, VertexId n, std::size_t m,
+            int reps, std::uint64_t seed, const RunFn& run) {
   Row row;
   row.scenario = scenario;
-  row.family = f.name;
+  row.family = family;
   row.k = k;
   row.rounds = rounds;
-  row.n = f.edges.num_vertices();
-  row.m = f.edges.num_edges();
+  row.n = n;
+  row.m = m;
   std::vector<double> times;
   RunOutcome outcome;
   for (int rep = 0; rep < reps; ++rep) {
@@ -144,6 +171,14 @@ Row measure(const std::string& scenario, const Family& f, std::size_t k,
   return row;
 }
 
+template <typename RunFn>
+Row measure(const std::string& scenario, const Family& f, std::size_t k,
+            std::size_t rounds, int reps, std::uint64_t seed,
+            const RunFn& run) {
+  return measure(scenario, f.name, k, rounds, f.edges.num_vertices(),
+                 f.edges.num_edges(), reps, seed, run);
+}
+
 void write_json(const std::string& path, const std::vector<Row>& rows,
                 const ExperimentSetup& setup, std::size_t threads) {
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -163,12 +198,16 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         "\"rounds\": %zu, \"n\": %u, \"m\": %zu, \"engine_rounds\": %zu, "
         "\"processed_edges\": %zu, \"solution\": %zu, \"comm_words\": %llu, "
         "\"seconds_median\": %.6f, \"seconds_min\": %.6f, "
-        "\"edges_per_sec\": %.1f}%s\n",
+        "\"edges_per_sec\": %.1f, \"file_bytes\": %llu, "
+        "\"peak_rss_bytes\": %llu}%s\n",
         r.scenario.c_str(), r.family.c_str(), r.transport.c_str(), r.k,
         r.rounds, r.n, r.m,
         r.engine_rounds, r.processed_edges, r.solution,
         static_cast<unsigned long long>(r.comm_words), r.seconds_median,
-        r.seconds_min, r.edges_per_sec, i + 1 < rows.size() ? "," : "");
+        r.seconds_min, r.edges_per_sec,
+        static_cast<unsigned long long>(r.file_bytes),
+        static_cast<unsigned long long>(r.peak_rss_bytes),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -185,6 +224,14 @@ int run_suite(int argc, char** argv) {
   opts.flag("scenario", "", "only run rows whose scenario contains this substring");
   opts.flag("family", "", "only run rows whose family contains this substring");
   opts.flag("threads", "0", "thread-pool size (0 = hardware concurrency, capped at 8)");
+  opts.flag("packed-scale", "1.0",
+            "size multiplier for the out-of-core packed family (independent "
+            "of --scale: the pack is streamed to disk, so large values are "
+            "disk-bound, not RAM-bound)");
+  opts.flag("packed-path", "",
+            "where the packed family writes its .rgp file (empty = "
+            "bench_packed.rgp in the working directory, removed afterwards; "
+            "an explicit path is kept)");
   opts.flag("pool-affinity", "false",
             "pin pool workers to cores (Linux; results are identical either way)");
   opts.parse(argc, argv);
@@ -339,6 +386,115 @@ int run_suite(int argc, char** argv) {
             out.solution = result.maximal_matching.size();
             return out;
           }));
+    }
+  }
+
+  // Out-of-core packed family: the .rgp ingestion path end to end. The
+  // instance never lives in memory as an EdgeList — packed_stream writes a
+  // uniform random multigraph record by record through PackWriter's 1 MiB
+  // buffer, packed_ingest maps + full-validates it with the windowed
+  // residency drop, and packed_partition / packed_mpc run the protocol
+  // stack straight off the mapping. --packed-scale sizes the instance
+  // independently of --scale (the file is disk-bound); file_bytes and
+  // peak_rss_bytes land in the JSON rows so the out-of-core claim — RSS
+  // well below file size for stream/ingest — is measurable. For that claim
+  // run the family alone (--family packed): RSS is a process-wide
+  // high-water mark and the in-memory families would raise it first.
+  {
+    const Family packed{"packed", 0, EdgeList()};
+    const bool any_packed =
+        wanted("packed_stream", packed) || wanted("packed_ingest", packed) ||
+        wanted("packed_partition", packed) || wanted("packed_mpc", packed);
+    if (any_packed) {
+      const double packed_scale = opts.get_double("packed-scale");
+      const auto pn =
+          static_cast<VertexId>(std::max(64.0, 100000.0 * packed_scale));
+      const auto pm =
+          static_cast<std::size_t>(std::max(512.0, 800000.0 * packed_scale));
+      const std::uint64_t pack_bytes =
+          kPackHeaderBytes + sizeof(Edge) * static_cast<std::uint64_t>(pm);
+      const std::string packed_path_flag = opts.get_string("packed-path");
+      const std::string packed_path =
+          packed_path_flag.empty() ? "bench_packed.rgp" : packed_path_flag;
+      const auto stream_pack = [&](Rng& rng) {
+        PackWriter writer(packed_path, pn, /*weighted=*/false);
+        for (std::size_t i = 0; i < pm; ++i) {
+          const auto u = static_cast<VertexId>(rng.next_below(pn));
+          auto v = static_cast<VertexId>(rng.next_below(pn - 1));
+          if (v >= u) ++v;  // uniform over the pn - 1 non-loop partners
+          writer.add(u, v);
+        }
+        writer.finish();
+      };
+      const auto stamp = [&](Row& row) {
+        row.file_bytes = pack_bytes;
+        row.peak_rss_bytes = peak_rss_bytes();
+      };
+      {
+        // The file the mapping rows read must exist even when the stream
+        // row itself is filtered out.
+        Rng rng(setup.seed);
+        stream_pack(rng);
+      }
+
+      if (wanted("packed_stream", packed)) {
+        rows.push_back(measure("packed_stream", "packed", 1, 1, pn, pm,
+                               setup.reps, setup.seed, [&](Rng& rng) {
+                                 stream_pack(rng);
+                                 RunOutcome out;
+                                 out.processed_edges = pm;
+                                 return out;
+                               }));
+        stamp(rows.back());
+      }
+
+      if (wanted("packed_ingest", packed)) {
+        rows.push_back(measure("packed_ingest", "packed", 1, 1, pn, pm,
+                               setup.reps, setup.seed, [&](Rng&) {
+                                 const MappedGraph graph(packed_path);
+                                 RunOutcome out;
+                                 out.processed_edges = graph.num_edges();
+                                 return out;
+                               }));
+        stamp(rows.back());
+      }
+
+      if (wanted("packed_partition", packed) || wanted("packed_mpc", packed)) {
+        const MappedGraph graph(packed_path);
+        if (wanted("packed_partition", packed)) {
+          rows.push_back(measure(
+              "packed_partition", "packed", 8, 1, pn, pm, setup.reps,
+              setup.seed, [&](Rng& rng) {
+                const ShardedPartition<Edge> parts(
+                    std::span<const Edge>(graph.edges().data(),
+                                          graph.num_edges()),
+                    graph.num_vertices(), 8, rng, &pool);
+                RunOutcome out;
+                out.processed_edges = parts.num_edges();
+                out.solution = parts.num_machines();
+                return out;
+              }));
+          stamp(rows.back());
+        }
+        if (wanted("packed_mpc", packed)) {
+          MpcEngineConfig config;
+          config.mpc.num_machines = 8;
+          config.mpc.memory_words =
+              16 * static_cast<std::uint64_t>(graph.num_edges()) + 4096;
+          config.max_rounds = 1;
+          rows.push_back(measure(
+              "packed_mpc", "packed", 8, 1, pn, pm, setup.reps, setup.seed,
+              [&](Rng& rng) {
+                const auto result =
+                    coreset_mpc_matching_rounds(graph, config, 0, rng, &pool);
+                RunOutcome out = processed_of(result.stats);
+                out.solution = result.matching.size();
+                return out;
+              }));
+          stamp(rows.back());
+        }
+      }
+      if (packed_path_flag.empty()) std::remove(packed_path.c_str());
     }
   }
 

@@ -102,7 +102,7 @@ struct VcStreamFold {
 
 }  // namespace
 
-MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
+MatchingProtocolResult run_matching_protocol(EdgeSource graph,
                                              std::size_t k,
                                              const MatchingCoreset& coreset,
                                              ComposeSolver solver,
@@ -123,7 +123,7 @@ MatchingProtocolResult run_matching_protocol_on_partition(
       phases.build(), &MatchingPhases::account, phases.combine());
 }
 
-VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
+VcProtocolResult run_vc_protocol(EdgeSource graph, std::size_t k,
                                  const VertexCoverCoreset& coreset, Rng& rng,
                                  ThreadPool* pool) {
   const VcPhases phases{coreset};
@@ -143,7 +143,7 @@ VcProtocolResult run_vc_protocol_on_partition(
 }
 
 MatchingProtocolResult run_matching_protocol_streaming(
-    const EdgeList& graph, std::size_t k, const MatchingCoreset& coreset,
+    EdgeSource graph, std::size_t k, const MatchingCoreset& coreset,
     ComposeSolver solver, VertexId left_size, Rng& rng, ThreadPool* pool,
     const StreamingOptions& streaming) {
   const MatchingPhases phases{coreset, solver, left_size};
@@ -154,7 +154,7 @@ MatchingProtocolResult run_matching_protocol_streaming(
       &MatchingPhases::account, fold, streaming);
 }
 
-VcProtocolResult run_vc_protocol_streaming(const EdgeList& graph,
+VcProtocolResult run_vc_protocol_streaming(EdgeSource graph,
                                            std::size_t k,
                                            const VertexCoverCoreset& coreset,
                                            Rng& rng, ThreadPool* pool,

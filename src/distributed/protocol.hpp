@@ -29,8 +29,10 @@ using VcProtocolResult = ProtocolResult<VertexCover, VcCoresetOutput>;
 /// Runs the simultaneous matching protocol: coreset per machine, then the
 /// coordinator solves the union. `left_size` > 0 declares the instance
 /// bipartite (known to all parties, as in the paper's hard distributions).
-/// `pool` may be null for sequential execution.
-MatchingProtocolResult run_matching_protocol(const EdgeList& graph,
+/// `pool` may be null for sequential execution. `graph` is an EdgeSource —
+/// implicit from an EdgeList or an mmap-backed MappedGraph, same protocol
+/// seed-for-seed either way (this holds for every entry point below).
+MatchingProtocolResult run_matching_protocol(EdgeSource graph,
                                              std::size_t k,
                                              const MatchingCoreset& coreset,
                                              ComposeSolver solver,
@@ -45,7 +47,7 @@ MatchingProtocolResult run_matching_protocol_on_partition(
     ThreadPool* pool = nullptr);
 
 /// Runs the simultaneous vertex cover protocol.
-VcProtocolResult run_vc_protocol(const EdgeList& graph, std::size_t k,
+VcProtocolResult run_vc_protocol(EdgeSource graph, std::size_t k,
                                  const VertexCoverCoreset& coreset, Rng& rng,
                                  ThreadPool* pool = nullptr);
 
@@ -62,12 +64,12 @@ VcProtocolResult run_vc_protocol_on_partition(
 /// invariants (validity / feasibility) are guaranteed, not the exact
 /// solution.
 MatchingProtocolResult run_matching_protocol_streaming(
-    const EdgeList& graph, std::size_t k, const MatchingCoreset& coreset,
+    EdgeSource graph, std::size_t k, const MatchingCoreset& coreset,
     ComposeSolver solver, VertexId left_size, Rng& rng,
     ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
 
 VcProtocolResult run_vc_protocol_streaming(
-    const EdgeList& graph, std::size_t k, const VertexCoverCoreset& coreset,
+    EdgeSource graph, std::size_t k, const VertexCoverCoreset& coreset,
     Rng& rng, ThreadPool* pool = nullptr,
     const StreamingOptions& streaming = {});
 

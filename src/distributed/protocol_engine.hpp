@@ -52,6 +52,7 @@
 #include "distributed/message.hpp"
 #include "distributed/socket_transport.hpp"
 #include "distributed/summary_wire.hpp"
+#include "graph/edge_source.hpp"
 #include "partition/partition.hpp"
 #include "partition/sharded_partition.hpp"
 #include "util/completion.hpp"
@@ -405,11 +406,13 @@ auto run_protocol(std::span<const EdgeT> edges, VertexId num_vertices,
   return result;
 }
 
-/// Whole-graph conveniences: run the full pipeline straight off an owning
-/// edge list (the common entry-point shape) without each caller spelling
-/// out the raw span plumbing.
+/// Whole-graph conveniences: run the full pipeline straight off an
+/// EdgeSource (the common entry-point shape) without each caller spelling
+/// out the raw span plumbing. EdgeSource converts implicitly from both an
+/// owning EdgeList and an mmap-backed MappedGraph (graph/edge_source.hpp),
+/// so the same call works in-memory and out-of-core.
 template <typename Build, typename Account, typename Combine>
-auto run_protocol(const EdgeList& graph, std::size_t k, VertexId left_size,
+auto run_protocol(EdgeSource graph, std::size_t k, VertexId left_size,
                   Rng& rng, ThreadPool* pool, const Build& build,
                   const Account& account, const Combine& combine) {
   return run_protocol<Edge>(
@@ -418,13 +421,13 @@ auto run_protocol(const EdgeList& graph, std::size_t k, VertexId left_size,
 }
 
 template <typename Build, typename Account, typename Combine>
-auto run_protocol(const WeightedEdgeList& graph, std::size_t k,
+auto run_protocol(WeightedEdgeSource graph, std::size_t k,
                   VertexId left_size, Rng& rng, ThreadPool* pool,
                   const Build& build, const Account& account,
                   const Combine& combine) {
   return run_protocol<WeightedEdge>(
-      std::span<const WeightedEdge>(graph.edges.data(), graph.edges.size()),
-      graph.num_vertices, k, left_size, rng, pool, build, account, combine);
+      std::span<const WeightedEdge>(graph.edges().data(), graph.num_edges()),
+      graph.num_vertices(), k, left_size, rng, pool, build, account, combine);
 }
 
 /// The full streaming pipeline: sharded random partition, then machines

@@ -7,7 +7,7 @@
 
 namespace rcc {
 
-MatchingProtocolResult coreset_matching_protocol(const EdgeList& graph,
+MatchingProtocolResult coreset_matching_protocol(EdgeSource graph,
                                                  std::size_t k,
                                                  VertexId left_size, Rng& rng,
                                                  ThreadPool* pool) {
@@ -16,7 +16,7 @@ MatchingProtocolResult coreset_matching_protocol(const EdgeList& graph,
                                left_size, rng, pool);
 }
 
-MatchingProtocolResult subsampled_matching_protocol(const EdgeList& graph,
+MatchingProtocolResult subsampled_matching_protocol(EdgeSource graph,
                                                     std::size_t k, double alpha,
                                                     VertexId left_size, Rng& rng,
                                                     ThreadPool* pool) {
@@ -25,7 +25,7 @@ MatchingProtocolResult subsampled_matching_protocol(const EdgeList& graph,
                                left_size, rng, pool);
 }
 
-VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
+VcProtocolResult coreset_vc_protocol(EdgeSource graph, std::size_t k,
                                      Rng& rng, ThreadPool* pool) {
   const PeelingVcCoreset coreset;
   return run_vc_protocol(graph, k, coreset, rng, pool);
@@ -41,7 +41,7 @@ struct GroupedVcPhases {
   VertexId n_groups;  // contracted universe size
   const PeelingVcCoreset& coreset;
 
-  static GroupedVcPhases make(const EdgeList& graph, double alpha,
+  static GroupedVcPhases make(EdgeSource graph, double alpha,
                               const PeelingVcCoreset& coreset) {
     const VertexId n = graph.num_vertices();
     const double log_n = std::log2(std::max<double>(n, 2.0));
@@ -126,7 +126,7 @@ struct GroupedVcStreamFold {
 
 }  // namespace
 
-GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
+GroupedVcProtocolResult grouped_vc_protocol(EdgeSource graph,
                                             std::size_t k, double alpha,
                                             Rng& rng, ThreadPool* pool) {
   const PeelingVcCoreset coreset;
@@ -157,12 +157,12 @@ GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
   GroupedVcProtocolResult result =
       run_protocol(graph, k, /*left_size=*/0, rng, pool, phases.build(),
                    &GroupedVcPhases::account, combine);
-  RCC_CHECK(result.solution.covers(graph));
+  RCC_CHECK(result.solution.covers(graph.edges()));
   return result;
 }
 
 MatchingProtocolResult coreset_matching_protocol_streaming(
-    const EdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    EdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool, const StreamingOptions& streaming) {
   const MaximumMatchingCoreset coreset;
   return run_matching_protocol_streaming(graph, k, coreset,
@@ -171,14 +171,14 @@ MatchingProtocolResult coreset_matching_protocol_streaming(
 }
 
 VcProtocolResult coreset_vc_protocol_streaming(
-    const EdgeList& graph, std::size_t k, Rng& rng, ThreadPool* pool,
+    EdgeSource graph, std::size_t k, Rng& rng, ThreadPool* pool,
     const StreamingOptions& streaming) {
   const PeelingVcCoreset coreset;
   return run_vc_protocol_streaming(graph, k, coreset, rng, pool, streaming);
 }
 
 GroupedVcProtocolResult grouped_vc_protocol_streaming(
-    const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
+    EdgeSource graph, std::size_t k, double alpha, Rng& rng,
     ThreadPool* pool, const StreamingOptions& streaming) {
   const PeelingVcCoreset coreset;
   const GroupedVcPhases phases = GroupedVcPhases::make(graph, alpha, coreset);
@@ -187,7 +187,7 @@ GroupedVcProtocolResult grouped_vc_protocol_streaming(
       std::span<const Edge>(graph.edges().data(), graph.num_edges()),
       graph.num_vertices(), k, /*left_size=*/0, rng, pool, phases.build(),
       &GroupedVcPhases::account, fold, streaming);
-  RCC_CHECK(result.solution.covers(graph));
+  RCC_CHECK(result.solution.covers(graph.edges()));
   return result;
 }
 

@@ -14,17 +14,17 @@
 
 namespace rcc {
 
-MatchingProtocolResult coreset_matching_protocol(const EdgeList& graph,
+MatchingProtocolResult coreset_matching_protocol(EdgeSource graph,
                                                  std::size_t k,
                                                  VertexId left_size, Rng& rng,
                                                  ThreadPool* pool = nullptr);
 
-MatchingProtocolResult subsampled_matching_protocol(const EdgeList& graph,
+MatchingProtocolResult subsampled_matching_protocol(EdgeSource graph,
                                                     std::size_t k, double alpha,
                                                     VertexId left_size, Rng& rng,
                                                     ThreadPool* pool = nullptr);
 
-VcProtocolResult coreset_vc_protocol(const EdgeList& graph, std::size_t k,
+VcProtocolResult coreset_vc_protocol(EdgeSource graph, std::size_t k,
                                      Rng& rng, ThreadPool* pool = nullptr);
 
 /// One machine's message in the grouped protocol: the Theorem 2 summary on
@@ -44,7 +44,7 @@ using GroupedVcProtocolResult = ProtocolResult<VertexCover, GroupedVcSummary>;
 /// into the machine's fixed solution, since any cover must take one of its
 /// endpoints and the group expansion contains both). The returned cover
 /// lives in the *original* vertex universe.
-GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
+GroupedVcProtocolResult grouped_vc_protocol(EdgeSource graph,
                                             std::size_t k, double alpha,
                                             Rng& rng,
                                             ThreadPool* pool = nullptr);
@@ -52,15 +52,15 @@ GroupedVcProtocolResult grouped_vc_protocol(const EdgeList& graph,
 /// Streaming variants of the named protocols (see
 /// run_matching_protocol_streaming for the order/determinism contract).
 MatchingProtocolResult coreset_matching_protocol_streaming(
-    const EdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    EdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
 
 VcProtocolResult coreset_vc_protocol_streaming(
-    const EdgeList& graph, std::size_t k, Rng& rng, ThreadPool* pool = nullptr,
+    EdgeSource graph, std::size_t k, Rng& rng, ThreadPool* pool = nullptr,
     const StreamingOptions& streaming = {});
 
 GroupedVcProtocolResult grouped_vc_protocol_streaming(
-    const EdgeList& graph, std::size_t k, double alpha, Rng& rng,
+    EdgeSource graph, std::size_t k, double alpha, Rng& rng,
     ThreadPool* pool = nullptr, const StreamingOptions& streaming = {});
 
 }  // namespace rcc

@@ -26,11 +26,11 @@ struct WeightedMatchingPhases {
 
 WeightedMatchingProtocolResult to_weighted_result(
     ProtocolResult<Matching, WeightedCoresetOutput>&& engine_result,
-    const WeightedEdgeList& graph, double class_base) {
+    WeightedEdgeSource graph, double class_base) {
   WeightedMatchingProtocolResult result;
   static_cast<ProtocolResult<Matching, WeightedCoresetOutput>&>(result) =
       std::move(engine_result);
-  result.matching_weight = matching_weight(result.solution, graph);
+  result.matching_weight = matching_weight(result.solution, graph.edges());
   for (const WeightedCoresetOutput& s : result.summaries) {
     result.max_classes_per_machine =
         std::max(result.max_classes_per_machine,
@@ -68,13 +68,13 @@ struct WeightedMatchingStreamFold {
 }  // namespace
 
 WeightedMatchingProtocolResult weighted_matching_protocol(
-    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    WeightedEdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool, double class_base) {
   const WeightedMatchingPhases phases{class_base};
   const auto combine = [&](std::vector<WeightedCoresetOutput>& summaries,
                            Rng& /*coordinator_rng*/) {
-    return compose_weighted_coresets(summaries, graph.num_vertices, left_size,
-                                     class_base);
+    return compose_weighted_coresets(summaries, graph.num_vertices(),
+                                     left_size, class_base);
   };
 
   auto engine_result =
@@ -84,13 +84,14 @@ WeightedMatchingProtocolResult weighted_matching_protocol(
 }
 
 WeightedMatchingProtocolResult weighted_matching_protocol_streaming(
-    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    WeightedEdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool, double class_base, const StreamingOptions& streaming) {
   const WeightedMatchingPhases phases{class_base};
-  WeightedMatchingStreamFold fold(graph.num_vertices, left_size, class_base);
+  WeightedMatchingStreamFold fold(graph.num_vertices(), left_size,
+                                  class_base);
   auto engine_result = run_protocol_streaming<WeightedEdge>(
-      std::span<const WeightedEdge>(graph.edges.data(), graph.edges.size()),
-      graph.num_vertices, k, left_size, rng, pool, phases.build(),
+      std::span<const WeightedEdge>(graph.edges().data(), graph.num_edges()),
+      graph.num_vertices(), k, left_size, rng, pool, phases.build(),
       &WeightedMatchingPhases::account, fold, streaming);
   return to_weighted_result(std::move(engine_result), graph, class_base);
 }

@@ -22,7 +22,7 @@ struct WeightedMatchingProtocolResult
 };
 
 WeightedMatchingProtocolResult weighted_matching_protocol(
-    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    WeightedEdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool = nullptr, double class_base = 2.0);
 
 /// Streaming variant: the coordinator unions the Crouch-Stubbs coresets as
@@ -30,7 +30,7 @@ WeightedMatchingProtocolResult weighted_matching_protocol(
 /// weighted merge is deterministic in the union order, so canonical order
 /// is seed-for-seed identical to the barrier entry point.
 WeightedMatchingProtocolResult weighted_matching_protocol_streaming(
-    const WeightedEdgeList& graph, std::size_t k, VertexId left_size, Rng& rng,
+    WeightedEdgeSource graph, std::size_t k, VertexId left_size, Rng& rng,
     ThreadPool* pool = nullptr, double class_base = 2.0,
     const StreamingOptions& streaming = {});
 

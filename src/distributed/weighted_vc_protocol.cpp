@@ -19,7 +19,7 @@ struct WeightedVcPhases {
   int num_classes = 1;
   PeelingVcCoreset coreset;
 
-  WeightedVcPhases(const EdgeList& graph, const VertexWeights& weights)
+  WeightedVcPhases(EdgeSource graph, const VertexWeights& weights)
       : weights(weights), n(graph.num_vertices()), vclass(n, 0) {
     RCC_CHECK(weights.size() == n);
     double wmin = 0.0;
@@ -111,7 +111,7 @@ WeightedVcProtocolResult to_weighted_vc_result(
 
 }  // namespace
 
-WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
+WeightedVcProtocolResult weighted_vc_protocol(EdgeSource graph,
                                               const VertexWeights& weights,
                                               std::size_t k, Rng& rng,
                                               ThreadPool* pool) {
@@ -136,7 +136,7 @@ WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
 }
 
 WeightedVcProtocolResult weighted_vc_protocol_streaming(
-    const EdgeList& graph, const VertexWeights& weights, std::size_t k,
+    EdgeSource graph, const VertexWeights& weights, std::size_t k,
     Rng& rng, ThreadPool* pool, const StreamingOptions& streaming) {
   const WeightedVcPhases phases(graph, weights);
   WeightedVcStreamFold fold(phases);

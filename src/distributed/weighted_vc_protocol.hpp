@@ -35,7 +35,7 @@ struct WeightedVcProtocolResult
   std::size_t weight_classes = 0;
 };
 
-WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
+WeightedVcProtocolResult weighted_vc_protocol(EdgeSource graph,
                                               const VertexWeights& weights,
                                               std::size_t k, Rng& rng,
                                               ThreadPool* pool = nullptr);
@@ -45,7 +45,7 @@ WeightedVcProtocolResult weighted_vc_protocol(const EdgeList& graph,
 /// weighted local-ratio step after the last one. Canonical order is
 /// seed-for-seed identical to the barrier entry point.
 WeightedVcProtocolResult weighted_vc_protocol_streaming(
-    const EdgeList& graph, const VertexWeights& weights, std::size_t k,
+    EdgeSource graph, const VertexWeights& weights, std::size_t k,
     Rng& rng, ThreadPool* pool = nullptr,
     const StreamingOptions& streaming = {});
 

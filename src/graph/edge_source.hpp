@@ -1,0 +1,82 @@
+// The ingestion seam: one value type every protocol entry point accepts,
+// abstracting over WHERE the input edges live.
+//
+// Two origins exist today:
+//
+//   * heap   — an EdgeList built in-process (generators, tests, survivors),
+//   * mapped — a MappedGraph whose records alias an .rgp pack file on disk
+//              (graph/graph_pack.hpp), so the instance never has to fit in
+//              RAM.
+//
+// An EdgeSource is a non-owning view (span + universe + origin tag), built
+// implicitly from either origin, so `run_matching_protocol(graph, ...)`
+// keeps compiling whether `graph` is an EdgeList or a MappedGraph. The
+// engine and executor read the edges through one code path — the sharded
+// partitioner's counting and scatter passes run over the mapped region in
+// the same fixed-size batches they use over heap edges, so destinations,
+// arena layout, and every downstream draw are byte-identical between
+// origins (pinned seed-for-seed in tests/graph_pack_test.cpp).
+//
+// Lifetime: like EdgeSpan, the viewed storage (EdgeList, MappedGraph, or
+// arena) must outlive the source; nothing in the library stores a source
+// beyond the call it is passed to.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/graph_pack.hpp"
+#include "matching/weighted.hpp"
+
+namespace rcc {
+
+/// Where an edge source's storage lives; informational (telemetry, benches)
+/// — every algorithm treats both origins identically.
+enum class EdgeOrigin {
+  kHeap,    // in-process EdgeList / WeightedEdgeList storage
+  kMapped,  // mmap-backed .rgp pack records
+};
+
+class EdgeSource {
+ public:
+  /*implicit*/ EdgeSource(const EdgeList& list)
+      : span_(list), origin_(EdgeOrigin::kHeap) {}
+
+  /*implicit*/ EdgeSource(const MappedGraph& map)
+      : span_(map.edges()), origin_(EdgeOrigin::kMapped) {}
+
+  EdgeSource(EdgeSpan span, EdgeOrigin origin)
+      : span_(span), origin_(origin) {}
+
+  EdgeSpan edges() const { return span_; }
+  VertexId num_vertices() const { return span_.num_vertices(); }
+  std::size_t num_edges() const { return span_.num_edges(); }
+  bool empty() const { return span_.empty(); }
+  EdgeOrigin origin() const { return origin_; }
+
+ private:
+  EdgeSpan span_;
+  EdgeOrigin origin_ = EdgeOrigin::kHeap;
+};
+
+class WeightedEdgeSource {
+ public:
+  /*implicit*/ WeightedEdgeSource(const WeightedEdgeList& list)
+      : span_(list), origin_(EdgeOrigin::kHeap) {}
+
+  /*implicit*/ WeightedEdgeSource(const MappedGraph& map)
+      : span_(map.weighted_edges()), origin_(EdgeOrigin::kMapped) {}
+
+  WeightedEdgeSource(WeightedEdgeSpan span, EdgeOrigin origin)
+      : span_(span), origin_(origin) {}
+
+  WeightedEdgeSpan edges() const { return span_; }
+  VertexId num_vertices() const { return span_.num_vertices(); }
+  std::size_t num_edges() const { return span_.num_edges(); }
+  bool empty() const { return span_.num_edges() == 0; }
+  EdgeOrigin origin() const { return origin_; }
+
+ private:
+  WeightedEdgeSpan span_;
+  EdgeOrigin origin_ = EdgeOrigin::kHeap;
+};
+
+}  // namespace rcc

@@ -8,12 +8,12 @@
 
 namespace rcc {
 
-double matching_weight(const Matching& m, const WeightedEdgeList& weights) {
+double matching_weight(const Matching& m, WeightedEdgeSpan weights) {
   // Weight lookup by normalized edge; parallel weighted edges keep the max
   // (a matching would always prefer the heavier copy).
   std::unordered_map<Edge, double, EdgeHash> weight_of;
-  weight_of.reserve(weights.edges.size() * 2);
-  for (const WeightedEdge& we : weights.edges) {
+  weight_of.reserve(weights.num_edges() * 2);
+  for (const WeightedEdge& we : weights) {
     auto [it, inserted] = weight_of.try_emplace(we.edge(), we.weight);
     if (!inserted) it->second = std::max(it->second, we.weight);
   }

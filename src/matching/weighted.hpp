@@ -51,6 +51,7 @@ class WeightedEdgeSpan {
 
   const WeightedEdge& operator[](std::size_t i) const { return data_[i]; }
 
+  const WeightedEdge* data() const { return data_; }
   const WeightedEdge* begin() const { return data_; }
   const WeightedEdge* end() const { return data_ + size_; }
 
@@ -61,7 +62,7 @@ class WeightedEdgeSpan {
 };
 
 /// Total weight of a matching's edges under `weights` (edges must exist).
-double matching_weight(const Matching& m, const WeightedEdgeList& weights);
+double matching_weight(const Matching& m, WeightedEdgeSpan weights);
 
 /// Greedy heaviest-edge-first maximal matching: classical 1/2-approximation
 /// to the maximum weight matching. Used as a centralized baseline.

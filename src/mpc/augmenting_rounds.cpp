@@ -142,7 +142,7 @@ AugmentingRoundsConfig AugmentingRoundsConfig::for_epsilon(double epsilon) {
 }
 
 AugmentingMpcResult run_matching_rounds_augmenting(
-    const EdgeList& graph, const MpcEngineConfig& config,
+    EdgeSource graph, const MpcEngineConfig& config,
     const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
     ThreadPool* pool, ProtocolWorkspace* workspace) {
   RCC_CHECK(aug.max_path_length % 2 == 1);

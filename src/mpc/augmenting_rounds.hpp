@@ -84,7 +84,7 @@ struct AugmentingMpcResult {
 /// is accepted for signature symmetry with the greedy entry point; the path
 /// search itself needs no bipartition.
 AugmentingMpcResult run_matching_rounds_augmenting(
-    const EdgeList& graph, const MpcEngineConfig& config,
+    EdgeSource graph, const MpcEngineConfig& config,
     const AugmentingRoundsConfig& aug, VertexId left_size, Rng& rng,
     ThreadPool* pool = nullptr, ProtocolWorkspace* workspace = nullptr);
 

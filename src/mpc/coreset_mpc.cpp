@@ -109,7 +109,7 @@ struct VcRoundFold {
 }  // namespace
 
 CoresetMpcMatchingResult coreset_mpc_matching_rounds(
-    const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
+    EdgeSource graph, const MpcEngineConfig& config, VertexId left_size,
     Rng& rng, ThreadPool* pool, ProtocolWorkspace* workspace) {
   const MaximumMatchingCoreset coreset;
   Matching matched(graph.num_vertices());
@@ -133,7 +133,7 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
 }
 
 CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
-    const EdgeList& graph, const MpcEngineConfig& config, Rng& rng,
+    EdgeSource graph, const MpcEngineConfig& config, Rng& rng,
     ThreadPool* pool, ProtocolWorkspace* workspace) {
   const VertexId n = graph.num_vertices();
   const PeelingVcCoreset coreset;
@@ -158,7 +158,7 @@ CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
   return result;
 }
 
-CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
+CoresetMpcMatchingResult coreset_mpc_matching(EdgeSource graph,
                                               const MpcConfig& config,
                                               bool input_already_random,
                                               VertexId left_size, Rng& rng) {
@@ -166,7 +166,7 @@ CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
       graph, single_round_config(config, input_already_random), left_size, rng);
 }
 
-CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
+CoresetMpcVcResult coreset_mpc_vertex_cover(EdgeSource graph,
                                             const MpcConfig& config,
                                             bool input_already_random,
                                             Rng& rng) {

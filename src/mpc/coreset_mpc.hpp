@@ -50,7 +50,7 @@ struct CoresetMpcVcResult {
 /// `workspace` (optional) makes the run's round-persistent buffers outlive
 /// the call — repeated runs on one workspace stop allocating entirely.
 CoresetMpcMatchingResult coreset_mpc_matching_rounds(
-    const EdgeList& graph, const MpcEngineConfig& config, VertexId left_size,
+    EdgeSource graph, const MpcEngineConfig& config, VertexId left_size,
     Rng& rng, ThreadPool* pool = nullptr,
     ProtocolWorkspace* workspace = nullptr);
 
@@ -61,18 +61,18 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
 /// is always feasible. With max_rounds = 1 this is the single-round
 /// protocol.
 CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
-    const EdgeList& graph, const MpcEngineConfig& config, Rng& rng,
+    EdgeSource graph, const MpcEngineConfig& config, Rng& rng,
     ThreadPool* pool = nullptr, ProtocolWorkspace* workspace = nullptr);
 
 /// O(1)-approximate maximum matching in <= 2 MPC rounds. `left_size` > 0
 /// enables the exact bipartite solver on machine M.
-CoresetMpcMatchingResult coreset_mpc_matching(const EdgeList& graph,
+CoresetMpcMatchingResult coreset_mpc_matching(EdgeSource graph,
                                               const MpcConfig& config,
                                               bool input_already_random,
                                               VertexId left_size, Rng& rng);
 
 /// O(log n)-approximate vertex cover in <= 2 MPC rounds.
-CoresetMpcVcResult coreset_mpc_vertex_cover(const EdgeList& graph,
+CoresetMpcVcResult coreset_mpc_vertex_cover(EdgeSource graph,
                                             const MpcConfig& config,
                                             bool input_already_random, Rng& rng);
 

@@ -94,7 +94,7 @@ struct EdcsRoundFold {
 
 }  // namespace
 
-EdcsMpcResult run_matching_rounds_edcs(const EdgeList& graph,
+EdcsMpcResult run_matching_rounds_edcs(EdgeSource graph,
                                        const MpcEngineConfig& config,
                                        const EdcsRoundsConfig& edcs,
                                        VertexId left_size, Rng& rng,

@@ -87,7 +87,7 @@ struct EdcsMpcResult {
 /// least one edge (an EDCS of a non-empty piece is non-empty by P2), so the
 /// run terminates within n/2 executor iterations regardless of the round
 /// cap. `left_size` > 0 enables the exact bipartite solver on machine M.
-EdcsMpcResult run_matching_rounds_edcs(const EdgeList& graph,
+EdcsMpcResult run_matching_rounds_edcs(EdgeSource graph,
                                        const MpcEngineConfig& config,
                                        const EdcsRoundsConfig& edcs,
                                        VertexId left_size, Rng& rng,

@@ -78,7 +78,7 @@ struct FilteringRoundFold {
 
 }  // namespace
 
-FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
+FilteringMpcResult filtering_mpc_rounds(EdgeSource graph,
                                         const MpcEngineConfig& config, Rng& rng,
                                         ThreadPool* pool,
                                         ProtocolWorkspace* workspace) {
@@ -123,7 +123,7 @@ FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
                                 pool, build, account, fold, workspace);
 
   if (result.completed) {
-    RCC_CHECK(m.maximal_in(graph));
+    RCC_CHECK(m.maximal_in(graph.edges()));
   }
   result.cover = VertexCover(n);
   for (const Edge& e : m.to_edge_list()) {
@@ -131,7 +131,7 @@ FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
     result.cover.insert(e.v);
   }
   if (result.completed) {
-    RCC_CHECK(result.cover.covers(graph));
+    RCC_CHECK(result.cover.covers(graph.edges()));
   }
   result.maximal_matching = std::move(m);
   result.rounds = result.stats.mpc_rounds;
@@ -139,7 +139,7 @@ FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
   return result;
 }
 
-FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
+FilteringMpcResult filtering_mpc(EdgeSource graph, const MpcConfig& config,
                                  Rng& rng) {
   MpcEngineConfig engine_config;
   engine_config.mpc = config;

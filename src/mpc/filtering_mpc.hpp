@@ -49,12 +49,12 @@ struct FilteringMpcResult {
 /// config.input_already_random and config.charge_input_residency are
 /// overridden to the filtering model's accounting (no reshuffle; map-side
 /// residency is charged by the broadcast step itself).
-FilteringMpcResult filtering_mpc_rounds(const EdgeList& graph,
+FilteringMpcResult filtering_mpc_rounds(EdgeSource graph,
                                         const MpcEngineConfig& config, Rng& rng,
                                         ThreadPool* pool = nullptr,
                                         ProtocolWorkspace* workspace = nullptr);
 
-FilteringMpcResult filtering_mpc(const EdgeList& graph, const MpcConfig& config,
+FilteringMpcResult filtering_mpc(EdgeSource graph, const MpcConfig& config,
                                  Rng& rng);
 
 }  // namespace rcc

@@ -46,6 +46,7 @@
 
 #include "distributed/protocol_engine.hpp"
 #include "graph/edge_list.hpp"
+#include "graph/edge_source.hpp"
 #include "mpc/mpc.hpp"
 #include "partition/sharded_partition.hpp"
 #include "util/rng.hpp"
@@ -247,7 +248,12 @@ concept StreamingRoundFold =
 
 /// Drives up to config.max_rounds ProtocolEngine rounds. The caller's
 /// cumulative solution lives in the fold's captures; the executor owns the
-/// shrinking edge set, the ledger, and the per-round accounting.
+/// shrinking edge set, the ledger, and the per-round accounting. The input
+/// is an EdgeSource (implicit from EdgeList or MappedGraph): round 0's
+/// partition reads straight from the source — for a mapped pack the
+/// counting and scatter passes stream the mapping — and survivors live in
+/// the workspace double-buffers from round 1 on, so the source is never
+/// materialized in RAM.
 ///
 /// Two fold shapes are accepted:
 ///   fold(summaries, round, rng) -> EdgeList        the plain callable fold
@@ -258,7 +264,7 @@ concept StreamingRoundFold =
 /// charged per absorbed summary instead of all at once — same totals, same
 /// peaks) and behind the barrier otherwise.
 template <typename Build, typename Account, typename Fold>
-MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
+MpcExecutionStats run_mpc_rounds(EdgeSource graph,
                                  const MpcEngineConfig& config,
                                  VertexId left_size, Rng& rng, ThreadPool* pool,
                                  const Build& build, const Account& account,
@@ -294,15 +300,16 @@ MpcExecutionStats run_mpc_rounds(const EdgeList& graph,
   EdgeList& spare = bufs.spare;
   survivors.reset(n);
   for (std::size_t r = 0; r < config.max_rounds; ++r) {
-    const EdgeList& input = (r == 0) ? graph : survivors;
+    // Round 0 reads the source (for a mapped pack: straight off the mmap);
+    // later rounds read the executor-owned survivor buffer.
+    const EdgeSpan input = (r == 0) ? graph.edges() : EdgeSpan(survivors);
     const std::uint64_t allocations_before = ws.counters().allocations;
 
     // Partition phase: the engine's sharded single-arena partitioner over
     // the surviving edges.
     WallTimer timer;
-    parts.repartition(
-        std::span<const Edge>(input.edges().data(), input.num_edges()), n, k,
-        rng, pool, &ws.partition());
+    parts.repartition(std::span<const Edge>(input.data(), input.num_edges()),
+                      n, k, rng, pool, &ws.partition());
     const double partition_seconds = timer.seconds();
 
     if (r == 0 && !config.input_already_random) {

@@ -16,7 +16,7 @@ void VertexCover::merge(const VertexCover& other) {
   }
 }
 
-bool VertexCover::covers(const EdgeList& edges) const {
+bool VertexCover::covers(EdgeSpan edges) const {
   RCC_CHECK(edges.num_vertices() == num_vertices());
   for (const Edge& e : edges) {
     if (!in_cover_[e.u] && !in_cover_[e.v]) return false;

@@ -44,7 +44,7 @@ class VertexCover {
   void merge(const VertexCover& other);
 
   /// True if every edge has at least one endpoint in the cover.
-  bool covers(const EdgeList& edges) const;
+  bool covers(EdgeSpan edges) const;
 
   std::vector<VertexId> vertices() const;
   const std::vector<bool>& indicator() const { return in_cover_; }

@@ -16,7 +16,9 @@
 #include <new>
 
 #include "graph/edge_list.hpp"
+#include "graph/edge_source.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_pack.hpp"
 #include "graph/incremental_csr.hpp"
 #include "matching/augmenting_paths.hpp"
 #include "matching/greedy.hpp"
@@ -307,6 +309,48 @@ TEST(AllocationFree, WarmExecutorRoundsStayWithinSmallByteBudget) {
       << "warm 6-round executor run allocated " << spent
       << " bytes — a per-round edge-set materialization costs "
       << 6 * graph.num_edges() * sizeof(Edge);
+}
+
+TEST(AllocationFree, MappedGraphReadPathIsAllocationFree) {
+  // The whole point of the mmap seam: once the pack is mapped, reading it —
+  // EdgeSource construction, span views, a full sweep over every record,
+  // and residency drops — must not touch the heap at all. The kernel pages
+  // the bytes in; operator new never runs. (Construction itself allocates:
+  // the path copy and the open; only the read path is pinned here.)
+  Rng gen(19);
+  const EdgeList graph = gnm(2000, 12000, gen);
+  const std::string path = ::testing::TempDir() + "allocation_test_pack.rgp";
+  GraphPack::write(graph, path);
+  const MappedGraph mapped(path);
+
+  const std::size_t before = allocations();
+  const EdgeSource source(mapped);
+  const EdgeSpan view = source.edges();
+  std::uint64_t checksum = 0;
+  for (const Edge& e : view) checksum += e.u ^ (std::uint64_t{e.v} << 20);
+  mapped.drop_resident(0, mapped.num_edges());
+  for (std::size_t i = 0; i < view.num_edges(); ++i) {
+    checksum -= view[i].u ^ (std::uint64_t{view[i].v} << 20);
+  }
+  const std::size_t after = allocations();
+  EXPECT_EQ(checksum, 0u);
+  EXPECT_EQ(source.origin(), EdgeOrigin::kMapped);
+  EXPECT_EQ(after, before) << "mapped read path allocated";
+
+  // And the seam composes with the warm-workspace contract: repartitioning
+  // straight off the mapping is as allocation-free as from the heap list.
+  ProtocolWorkspace ws;
+  ShardedPartition<Edge> parts;
+  Rng rng(7);
+  parts.repartition(std::span<const Edge>(view.data(), view.num_edges()),
+                    mapped.num_vertices(), 8, rng, nullptr, &ws.partition());
+  const std::size_t warm_before = allocations();
+  parts.repartition(std::span<const Edge>(view.data(), view.num_edges()),
+                    mapped.num_vertices(), 8, rng, nullptr, &ws.partition());
+  const std::size_t warm_after = allocations();
+  EXPECT_EQ(warm_after, warm_before) << "warm repartition from mmap allocated";
+  EXPECT_EQ(parts.num_edges(), mapped.num_edges());
+  std::remove(path.c_str());
 }
 
 TEST(AllocationFree, ValueTypeResetAndAssignKeepCapacity) {

@@ -8,8 +8,11 @@ Usage:
 Rows are matched on (scenario, family, k, rounds). For each matched row the
 relative change in seconds_median is reported; a row slower than baseline by
 more than the threshold counts as a regression, faster by more than the
-threshold as an improvement. Rows present on only one side are listed but
-never fail the run (new scenarios are how the grid grows).
+threshold as an improvement. Rows present on only one side never fail the
+run, but each is called out explicitly: a NEW ROW line (new scenarios are
+how the grid grows — the row becomes pinned when the next baseline is
+checked in) or a REMOVED ROW line (a pinned row disappearing usually means
+a renamed scenario or an over-narrow filter, and deserves a look).
 
 Exit status is 0 unless --fail-on-regression is given and at least one
 regression was found. CI runs this non-gating (annotations only): shared
@@ -124,9 +127,22 @@ def main():
                       f"{b:.4f}s -> {c:.4f}s ({change:+.1%})")
     print(f"\nwithin threshold: {len(steady)} rows")
     if only_base:
-        print(f"rows only in baseline: {', '.join(fmt(k) for k in only_base)}")
+        print("\nremoved rows (in baseline, missing from current):")
+        for key in only_base:
+            print(f"  REMOVED ROW {fmt(key)}")
+            if args.github_annotations:
+                print(f"::warning title=bench row removed::{fmt(key)} is in "
+                      f"the baseline but missing from the current run — "
+                      f"renamed scenario, or an over-narrow filter?")
     if only_cur:
-        print(f"rows only in current:  {', '.join(fmt(k) for k in only_cur)}")
+        print("\nnew rows (no baseline yet):")
+        for key in only_cur:
+            median = cur_rows[key]["seconds_median"]
+            print(f"  NEW ROW {fmt(key)} median {median:.4f}s")
+            if args.github_annotations:
+                print(f"::notice title=new bench row::{fmt(key)}: "
+                      f"{median:.4f}s — no baseline to compare against; "
+                      f"pinned once the next baseline is checked in")
 
     if regressions and args.fail_on_regression:
         if untrusted:

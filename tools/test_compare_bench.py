@@ -114,8 +114,32 @@ class CompareBenchTest(unittest.TestCase):
             self.ROW: 1.0, ("vc", "peeling", 16, 1): 2.0}))
         result = self.run_tool(base, cur, "--fail-on-regression", *TRUSTED)
         self.assertEqual(result.returncode, 0, result.stdout)
-        self.assertIn("rows only in baseline", result.stdout)
-        self.assertIn("rows only in current", result.stdout)
+        self.assertIn("REMOVED ROW vc/peeling k=4 rounds=1", result.stdout)
+        self.assertIn("NEW ROW vc/peeling k=16 rounds=1", result.stdout)
+
+    def test_new_row_reports_its_median_and_is_not_a_regression(self):
+        # A brand-new scenario (the packed family, say) has no baseline: it
+        # must be announced with its own timing, not silently skipped, and
+        # must not count toward the regression verdict.
+        base = self.write("base.json", suite(1.0, {self.ROW: 1.0}))
+        cur = self.write("cur.json", suite(1.0, {
+            self.ROW: 1.0, ("packed_ingest", "packed", 1, 1): 0.1832}))
+        result = self.run_tool(base, cur, "--fail-on-regression", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("new rows (no baseline yet):", result.stdout)
+        self.assertIn("NEW ROW packed_ingest/packed k=1 rounds=1 "
+                      "median 0.1832s", result.stdout)
+        self.assertNotIn("REGRESSIONS", result.stdout)
+
+    def test_one_sided_rows_reach_github_annotations(self):
+        base = self.write("base.json", suite(1.0, {
+            self.ROW: 1.0, ("vc", "peeling", 4, 1): 2.0}))
+        cur = self.write("cur.json", suite(1.0, {
+            self.ROW: 1.0, ("packed_ingest", "packed", 1, 1): 0.5}))
+        result = self.run_tool(base, cur, "--github-annotations", *TRUSTED)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("::notice title=new bench row::", result.stdout)
+        self.assertIn("::warning title=bench row removed::", result.stdout)
 
     def test_untrusted_load_tags_rows_and_suppresses_failure(self):
         result = self.compare(1.0, 2.0, "--fail-on-regression", *UNTRUSTED)
