@@ -23,15 +23,22 @@ void add_streaming_flags(Options& options) {
             "completion-queue slots between machines and the coordinator "
             "(0 = one per machine, producers never block)")
       .flag("engine-transport", "inproc",
-            "machine-phase transport: 'inproc' (threads + completion queue) "
-            "or 'socket' (forked worker processes streaming framed "
-            "summaries over loopback TCP)")
+            "machine-phase transport: 'inproc' (threads + completion "
+            "queue), 'socket' (forked worker processes streaming framed "
+            "summaries over loopback TCP), or 'shm' (forked worker "
+            "processes exchanging the same frames through shared-memory "
+            "rings; persistent workers under multi-round executors)")
       .flag("engine-transport-port", "0",
             "coordinator listening port for --engine-transport=socket "
             "(0 = kernel-assigned ephemeral port)")
       .flag("engine-transport-timeout-ms", "10000",
-            "socket-transport deadline for worker connects and frame waits; "
-            "a worker silent this long fails the run with its machine id");
+            "socket/shm transport deadline for worker connects and frame "
+            "waits; a worker silent this long fails the run with its "
+            "machine id")
+      .flag("engine-shm-ring-bytes", "1048576",
+            "per-direction shared-memory ring capacity in bytes for "
+            "--engine-transport=shm (rounded up to a power of two; larger "
+            "frames still flow, chunked)");
 }
 
 StreamingOptions streaming_options_from_options(const Options& options) {
@@ -61,10 +68,12 @@ StreamingOptions streaming_options_from_options(const Options& options) {
     opts.transport = EngineTransport::kInproc;
   } else if (transport == "socket") {
     opts.transport = EngineTransport::kSocket;
+  } else if (transport == "shm") {
+    opts.transport = EngineTransport::kShm;
   } else {
     std::fprintf(stderr,
                  "flag --engine-transport: '%s' is not one of 'inproc', "
-                 "'socket'\n",
+                 "'socket', 'shm'\n",
                  transport.c_str());
     std::exit(2);
   }
@@ -84,6 +93,15 @@ StreamingOptions streaming_options_from_options(const Options& options) {
     std::exit(2);
   }
   opts.socket.timeout_ms = static_cast<int>(timeout);
+  opts.shm.timeout_ms = static_cast<int>(timeout);
+  const std::int64_t ring_bytes = options.get_int("engine-shm-ring-bytes");
+  if (ring_bytes < 64 || ring_bytes > (std::int64_t{1} << 30)) {
+    std::fprintf(stderr,
+                 "flag --engine-shm-ring-bytes: %lld must be in [64, 2^30]\n",
+                 static_cast<long long>(ring_bytes));
+    std::exit(2);
+  }
+  opts.shm.ring_bytes = static_cast<std::size_t>(ring_bytes);
   return opts;
 }
 

@@ -43,6 +43,7 @@
 // overlap, for folds whose result is absorb-order independent.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <span>
 #include <type_traits>
@@ -50,6 +51,7 @@
 #include <vector>
 
 #include "distributed/message.hpp"
+#include "distributed/shm_transport.hpp"
 #include "distributed/socket_transport.hpp"
 #include "distributed/summary_wire.hpp"
 #include "graph/edge_source.hpp"
@@ -87,6 +89,9 @@ enum class EngineTransport {
   kInproc,  // shared address space: thread pool + completion queue
   kSocket,  // k forked worker processes streaming framed summaries over
             // loopback TCP (summary_wire.hpp / socket_transport.hpp)
+  kShm,     // k forked worker processes exchanging the same frames through
+            // shared-memory rings (shm_transport.hpp); persistent workers
+            // when a multi-round executor provides a pool
 };
 
 /// Knobs of the streaming combine path.
@@ -95,13 +100,26 @@ struct StreamingOptions {
   /// Completion-queue slots between the machines and the coordinator;
   /// 0 sizes the queue to k so producers never block on a slow consumer.
   std::size_t queue_capacity = 0;
-  /// Where the machine phase runs. kSocket requires a WireSerializable
-  /// summary type and ignores the thread pool — the worker processes ARE
-  /// the parallelism.
+  /// Where the machine phase runs. kSocket and kShm require a
+  /// WireSerializable summary type and ignore the thread pool — the worker
+  /// processes ARE the parallelism.
   EngineTransport transport = EngineTransport::kInproc;
   /// Socket-transport knobs (port, deadline, fault injection); unused for
   /// kInproc.
   SocketTransportOptions socket;
+  /// Shm-transport knobs (ring capacity, deadline, fault injection); unused
+  /// unless transport == kShm.
+  ShmTransportOptions shm;
+  /// A live persistent worker pool for transport == kShm, or null. Set by
+  /// multi-round executors (run_mpc_rounds) that forked the pool INSIDE
+  /// round 0, right after the first partition: the engine ships round 0 an
+  /// rng-only control frame (the workers' copy-on-write snapshots already
+  /// hold their round-0 shards) and every later round its piece + forked
+  /// RNG stream DOWN the pool's rings instead of forking fresh workers. The
+  /// workers must be running the executor's round-loop body, which decodes
+  /// that protocol. Null means the engine forks ephemeral ring workers for
+  /// this one call (single-round drivers). Edge-typed pieces only.
+  ShmWorkerPool* shm_pool = nullptr;
 };
 
 /// What crossed a process boundary; all zeros for in-process runs.
@@ -109,6 +127,13 @@ struct TransportTelemetry {
   EngineTransport kind = EngineTransport::kInproc;
   std::uint64_t wire_bytes = 0;  // framed bytes received (headers + payloads)
   std::uint64_t frames = 0;      // summary frames received (== k on success)
+  /// Downlink bytes the coordinator shipped (piece-delivery frames of a
+  /// persistent shm pool); 0 for transports that inherit pieces via fork.
+  std::uint64_t piece_bytes = 0;
+  /// Worker processes forked FOR THIS CALL: k for socket and ephemeral shm
+  /// runs, 0 for a round served by a persistent pool (its forks happened at
+  /// spawn — the amortization the pool exists to provide).
+  std::uint64_t forks = 0;
 };
 
 /// What the streaming path observed; all zeros for barrier runs.
@@ -220,16 +245,43 @@ auto run_protocol_streaming_on_pieces(
       fold.absorb(result.summaries[id], id);
     }
   };
+  // Cross-process transports share one collect loop: pull k frames off the
+  // transport in arrival order — the exact role CompletionQueue::pop plays
+  // in-process — decode, and absorb through the same CanonicalReorder, so
+  // folds, accounting, and RNG draws carry over unchanged. (A generic
+  // lambda, called only from the WireSerializable branches below; `frame`
+  // stays type-dependent on the lambda parameter so the decode call is not
+  // checked for non-serializable summaries.)
+  const auto collect_frames = [&](auto&& next_frame) {
+    CanonicalReorder reorder(k);
+    for (std::size_t received = 0; received < k; ++received) {
+      auto frame = next_frame();
+      const std::size_t id = frame.header.machine;
+      result.summaries[id] =
+          decode_frame_payload<Summary>(frame.header, frame.payload.data());
+      const auto absorb = [&](std::size_t m) {
+        if (received + 1 < k) {
+          ++result.streaming.absorbed_while_machines_ran;
+        }
+        deliver(m);
+      };
+      if (opts.order == StreamingOrder::kArrival) {
+        absorb(id);
+      } else {
+        reorder.complete(id, absorb);
+      }
+    }
+    if (opts.order == StreamingOrder::kCanonical) {
+      RCC_CHECK(reorder.drained());
+    }
+  };
   if (opts.transport == EngineTransport::kSocket) {
     // Cross-process machine phase: fork k workers, each builds its summary
     // on its copy-on-write inherited piece (with the rng stream forked for
     // it ABOVE, in the parent — so the coordinator rng's position is
     // identical to the in-process paths), frames it per summary_wire.hpp,
-    // and streams it to this process over loopback. The collector hands
-    // frames back in arrival order — the exact role CompletionQueue::pop
-    // plays in-process — and the same CanonicalReorder releases them in
-    // machine-id order, so folds, accounting, and RNG draws carry over
-    // unchanged. The thread pool is ignored: workers are the parallelism.
+    // and streams it to this process over loopback. The thread pool is
+    // ignored: workers are the parallelism.
     if constexpr (WireSerializable<Summary>) {
       const SocketTransportOptions& sock = opts.socket;
       LoopbackListener listener(sock.leader_port);
@@ -250,36 +302,95 @@ auto run_protocol_streaming_on_pieces(
       const std::vector<pid_t> workers = spawn_workers(k, worker_body);
       {
         FrameCollector collector(listener, k, sock.timeout_ms);
-        CanonicalReorder reorder(k);
-        for (std::size_t received = 0; received < k; ++received) {
-          ReadyFrame frame = collector.next_ready();
-          const std::size_t id = frame.header.machine;
-          result.summaries[id] =
-              decode_frame_payload<Summary>(frame.header,
-                                            frame.payload.data());
-          const auto absorb = [&](std::size_t m) {
-            if (received + 1 < k) {
-              ++result.streaming.absorbed_while_machines_ran;
-            }
-            deliver(m);
-          };
-          if (opts.order == StreamingOrder::kArrival) {
-            absorb(id);
-          } else {
-            reorder.complete(id, absorb);
-          }
-        }
-        if (opts.order == StreamingOrder::kCanonical) {
-          RCC_CHECK(reorder.drained());
-        }
+        collect_frames([&] { return collector.next_ready(); });
         result.transport.kind = EngineTransport::kSocket;
         result.transport.wire_bytes = collector.wire_bytes();
         result.transport.frames = collector.frames_delivered();
+        result.transport.forks = k;
       }
       reap_workers(workers);
     } else {
       RCC_CHECK(
           !"engine transport 'socket' requires a wire-serializable summary");
+    }
+  } else if (opts.transport == EngineTransport::kShm) {
+    if constexpr (WireSerializable<Summary>) {
+      bool served_by_pool = false;
+      if constexpr (std::is_same_v<EdgeT, Edge>) {
+        if (opts.shm_pool != nullptr) {
+          // Persistent pool (multi-round executors): the workers forked
+          // ONCE, inside round 0 right after the first partition, and are
+          // idling in their round loop. Round 0's pieces therefore rode the
+          // fork itself (copy-on-write, the socket transport's free piece
+          // story) and its frames carry only the rng stream forked for each
+          // machine ABOVE (so the coordinator rng's position is identical
+          // to every other path); later rounds repartition after the fork,
+          // so their frames ship the actual piece. Collect the summary
+          // frames back off the rings either way.
+          served_by_pool = true;
+          ShmWorkerPool& worker_pool = *opts.shm_pool;
+          RCC_CHECK(worker_pool.machines() == k);
+          const std::uint64_t wire_before = worker_pool.wire_bytes();
+          const std::uint64_t piece_before = worker_pool.piece_bytes();
+          worker_pool.begin_round();
+          const bool piece_rode_the_fork = worker_pool.round() == 0;
+          for (std::size_t i = 0; i < k; ++i) {
+            // Stack-built prefix + the shard bytes streamed straight from
+            // the partition: the downlink never stages a frame-sized
+            // scratch vector (megabytes per machine per round on dense
+            // multi-round runs).
+            std::array<std::uint8_t, kPieceFramePrefixBytes> prefix;
+            const std::size_t body_edges =
+                piece_rode_the_fork ? 0 : pieces[i].size();
+            encode_piece_frame_prefix(
+                body_edges, num_vertices, machine_rngs[i].state(),
+                worker_pool.round(), static_cast<std::uint32_t>(i),
+                prefix.data());
+            worker_pool.send_frame(
+                i, prefix.data(), prefix.size(),
+                reinterpret_cast<const std::uint8_t*>(pieces[i].data()),
+                body_edges * sizeof(Edge));
+          }
+          collect_frames([&] { return worker_pool.next_ready(); });
+          result.transport.kind = EngineTransport::kShm;
+          result.transport.wire_bytes = worker_pool.wire_bytes() - wire_before;
+          result.transport.frames = k;
+          result.transport.piece_bytes =
+              worker_pool.piece_bytes() - piece_before;
+          result.transport.forks = 0;  // forked at spawn, not per round
+        }
+      }
+      if (!served_by_pool) {
+        // Ephemeral ring workers: fork k processes for this one call, each
+        // building on its copy-on-write inherited piece (socket-path
+        // discipline) and writing its frame through its uplink ring.
+        const ShmTransportOptions& shm = opts.shm;
+        ShmWorkerPool worker_pool(k, shm);
+        worker_pool.spawn([&](std::size_t i, ShmWorkerEndpoint& endpoint) {
+          if (static_cast<long>(i) == shm.fault_kill_machine) {
+            worker_exit_silently();
+          }
+          machine_work(i);  // fills the CHILD's copy of summaries[i]
+          const std::vector<std::uint8_t> frame =
+              encode_frame(result.summaries[i], static_cast<std::uint32_t>(i));
+          if (static_cast<long>(i) == shm.fault_partial_frame_machine) {
+            endpoint.write_raw(frame.data(),
+                               kFrameHeaderBytes +
+                                   (frame.size() - kFrameHeaderBytes) / 2);
+            worker_exit_silently();
+          }
+          endpoint.write_frame(frame.data(), frame.size());
+        });
+        collect_frames([&] { return worker_pool.next_ready(); });
+        result.transport.kind = EngineTransport::kShm;
+        result.transport.wire_bytes = worker_pool.wire_bytes();
+        result.transport.frames = worker_pool.frames_delivered();
+        result.transport.forks = worker_pool.forks();
+        worker_pool.reap();
+      }
+    } else {
+      RCC_CHECK(
+          !"engine transport 'shm' requires a wire-serializable summary");
     }
   } else if (pool == nullptr || pool->size() == 1 || k == 1) {
     // Sequential: build and absorb alternate machine by machine, so arrival
@@ -455,9 +566,12 @@ auto run_protocol_streaming(std::span<const EdgeT> edges,
 ///   --engine-streaming-order       arrival | canonical (reorder buffer)
 ///   --engine-queue-capacity        completion-queue slots (0 = one/machine)
 ///   --engine-transport             inproc | socket (forked workers over
-///                                  loopback; implies the streaming path)
+///                                  loopback) | shm (forked workers over
+///                                  shared-memory rings); both cross-process
+///                                  values imply the streaming path
 ///   --engine-transport-port        coordinator port (0 = ephemeral)
-///   --engine-transport-timeout-ms  socket deadline per wait
+///   --engine-transport-timeout-ms  socket/shm deadline per wait
+///   --engine-shm-ring-bytes        per-direction ring capacity for shm
 void add_streaming_flags(Options& options);
 
 /// Reads the knobs registered by add_streaming_flags back; exits(2) on an

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 #include "distributed/protocols.hpp"
 
@@ -63,7 +64,7 @@ FrameHeader decode_frame_header(const std::uint8_t* bytes) {
               static_cast<unsigned>(kWireVersion));
   }
   if (shape < static_cast<std::uint16_t>(SummaryShape::kEdgeList) ||
-      shape > static_cast<std::uint16_t>(SummaryShape::kGroupedVc)) {
+      shape > static_cast<std::uint16_t>(SummaryShape::kShutdown)) {
     wire_fail("unknown summary shape tag %u", static_cast<unsigned>(shape));
   }
   const std::uint32_t machine = reader.u32();
@@ -253,6 +254,140 @@ void SummaryCodec<GroupedVcSummary>::encode(const GroupedVcSummary& summary,
   SummaryCodec<VcCoresetOutput>::encode(summary.core, writer);
   writer.u64(summary.pinned_groups.size());
   for (const VertexId group : summary.pinned_groups) writer.u32(group);
+}
+
+void SummaryCodec<PieceDelivery>::encode(const PieceDelivery& piece,
+                                         WireWriter& writer) {
+  writer.u32(piece.round);
+  for (const std::uint64_t word : piece.rng_state) writer.u64(word);
+  SummaryCodec<EdgeList>::encode(piece.edges, writer);
+}
+
+PieceDelivery SummaryCodec<PieceDelivery>::decode(WireReader& reader) {
+  PieceDelivery piece;
+  piece.round = reader.u32();
+  for (std::uint64_t& word : piece.rng_state) word = reader.u64();
+  piece.edges = SummaryCodec<EdgeList>::decode(reader);
+  return piece;
+}
+
+PieceDeliveryView decode_piece_frame_view(const FrameHeader& header,
+                                          const std::uint8_t* payload) {
+  // The borrow below reinterprets wire records as Edge values; this is only
+  // sound while Edge is exactly two packed little-endian u32s.
+  static_assert(std::is_trivially_copyable_v<Edge> && sizeof(Edge) == 8 &&
+                    sizeof(VertexId) == 4,
+                "PieceDeliveryView assumes Edge is two packed u32s");
+  if (header.shape != SummaryShape::kPieceDelivery) {
+    wire_fail("frame from machine %u carries shape tag %u, expected %u",
+              header.machine, static_cast<unsigned>(header.shape),
+              static_cast<unsigned>(SummaryShape::kPieceDelivery));
+  }
+  WireReader reader(payload, static_cast<std::size_t>(header.payload_bytes));
+  PieceDeliveryView view;
+  view.round = reader.u32();
+  for (std::uint64_t& word : view.rng_state) word = reader.u64();
+  view.num_vertices = reader.u32();
+  const std::uint64_t m = reader.u64();
+  if (m > reader.remaining() / 8 || m * 8 != reader.remaining()) {
+    wire_fail("piece frame claims %llu edges but %zu payload bytes remain",
+              static_cast<unsigned long long>(m), reader.remaining());
+  }
+  view.num_edges = static_cast<std::size_t>(m);
+  view.edges = reinterpret_cast<const Edge*>(
+      payload + (static_cast<std::size_t>(header.payload_bytes) -
+                 reader.remaining()));
+  for (std::size_t i = 0; i < view.num_edges; ++i) {
+    const Edge e = view.edges[i];
+    if (e.u >= view.num_vertices || e.v >= view.num_vertices) {
+      wire_fail("edge %zu = (%u, %u) leaves the %u-vertex universe", i, e.u,
+                e.v, view.num_vertices);
+    }
+    if (e.u == e.v) {
+      wire_fail("edge %zu is a self-loop at vertex %u", i, e.u);
+    }
+  }
+  return view;
+}
+
+std::vector<std::uint8_t> encode_piece_frame(
+    const Edge* edges, std::size_t num_edges, VertexId num_vertices,
+    const std::array<std::uint64_t, 4>& rng_state, std::uint32_t round,
+    std::uint32_t machine) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+  bytes.reserve(kFrameHeaderBytes + 4 + 32 + 12 + 8 * num_edges);
+  WireWriter writer(bytes);
+  writer.u32(round);
+  for (const std::uint64_t word : rng_state) writer.u64(word);
+  writer.u32(num_vertices);
+  writer.u64(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    writer.u32(edges[i].u);
+    writer.u32(edges[i].v);
+  }
+  const std::uint64_t payload = bytes.size() - kFrameHeaderBytes;
+  if (payload > kMaxFramePayloadBytes) {
+    wire_fail("machine %u piece payload (%llu bytes) exceeds the frame cap",
+              machine, static_cast<unsigned long long>(payload));
+  }
+  encode_frame_header(
+      FrameHeader{SummaryShape::kPieceDelivery, machine, payload},
+      bytes.data());
+  return bytes;
+}
+
+void encode_piece_frame_prefix(std::size_t num_edges, VertexId num_vertices,
+                               const std::array<std::uint64_t, 4>& rng_state,
+                               std::uint32_t round, std::uint32_t machine,
+                               std::uint8_t* out) {
+  static_assert(std::is_trivially_copyable_v<Edge> && sizeof(Edge) == 8,
+                "the frame body streams Edge records as raw bytes");
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+  bytes.reserve(kPieceFramePrefixBytes);
+  WireWriter writer(bytes);
+  writer.u32(round);
+  for (const std::uint64_t word : rng_state) writer.u64(word);
+  writer.u32(num_vertices);
+  writer.u64(num_edges);
+  RCC_CHECK(bytes.size() == kPieceFramePrefixBytes);
+  const std::uint64_t payload =
+      (kPieceFramePrefixBytes - kFrameHeaderBytes) + 8 * num_edges;
+  if (payload > kMaxFramePayloadBytes) {
+    wire_fail("machine %u piece payload (%llu bytes) exceeds the frame cap",
+              machine, static_cast<unsigned long long>(payload));
+  }
+  encode_frame_header(
+      FrameHeader{SummaryShape::kPieceDelivery, machine, payload},
+      bytes.data());
+  std::memcpy(out, bytes.data(), kPieceFramePrefixBytes);
+}
+
+void encode_edge_list_frame_prefix(const EdgeList& summary,
+                                   std::uint32_t machine, std::uint8_t* out) {
+  static_assert(std::is_trivially_copyable_v<Edge> && sizeof(Edge) == 8,
+                "the frame body streams Edge records as raw bytes");
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+  bytes.reserve(kEdgeListFramePrefixBytes);
+  WireWriter writer(bytes);
+  writer.u32(summary.num_vertices());
+  writer.u64(summary.num_edges());
+  RCC_CHECK(bytes.size() == kEdgeListFramePrefixBytes);
+  const std::uint64_t payload =
+      (kEdgeListFramePrefixBytes - kFrameHeaderBytes) + 8 * summary.num_edges();
+  if (payload > kMaxFramePayloadBytes) {
+    wire_fail("machine %u summary payload (%llu bytes) exceeds the frame cap",
+              machine, static_cast<unsigned long long>(payload));
+  }
+  encode_frame_header(FrameHeader{SummaryShape::kEdgeList, machine, payload},
+                      bytes.data());
+  std::memcpy(out, bytes.data(), kEdgeListFramePrefixBytes);
+}
+
+std::vector<std::uint8_t> encode_shutdown_frame(std::uint32_t machine) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+  encode_frame_header(FrameHeader{SummaryShape::kShutdown, machine, 0},
+                      bytes.data());
+  return bytes;
 }
 
 GroupedVcSummary SummaryCodec<GroupedVcSummary>::decode(WireReader& reader) {

@@ -26,6 +26,7 @@
 // malformed byte ever reaches a fold.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <concepts>
 #include <cstdint>
@@ -52,7 +53,10 @@ inline constexpr std::size_t kFrameHeaderBytes = 24;
 /// piece, so anything beyond 1 GiB is a corrupt length field, not data.
 inline constexpr std::uint64_t kMaxFramePayloadBytes = std::uint64_t{1} << 30;
 
-/// Payload tag of a frame: one per summary type a round-combiner sends.
+/// Payload tag of a frame: one per summary type a round-combiner sends,
+/// plus the coordinator->worker control frames of the persistent shm
+/// transport (pieces ride the same versioned framing as summaries, so one
+/// header decoder and one validation funnel serve both directions).
 enum class SummaryShape : std::uint16_t {
   kEdgeList = 1,       // coreset matching / filtering / EDCS rounds
   kVcCoreset = 2,      // vertex cover: residual edges + fixed vertices
@@ -60,6 +64,8 @@ enum class SummaryShape : std::uint16_t {
   kPathBatch = 4,      // augmenting-path round: batch of short paths
   kVcCoresetBatch = 5, // weighted VC: one VcCoresetOutput per weight level
   kGroupedVc = 6,      // grouped VC: core coreset + pinned group ids
+  kPieceDelivery = 7,  // downlink: one round's piece + forked RNG stream
+  kShutdown = 8,       // downlink: persistent worker exit handshake (empty)
 };
 
 /// Prints "summary wire: <formatted message>" to stderr and aborts. Every
@@ -194,6 +200,66 @@ struct SummaryCodec<GroupedVcSummary> {
   static GroupedVcSummary decode(WireReader& reader);
 };
 
+/// One round's work order for a persistent shm worker: the machine's shard
+/// of the surviving edges plus the machine RNG stream the coordinator forked
+/// for this round (so the worker's draws are identical to the in-process and
+/// fork-per-round paths, and the caller's RNG position is untouched).
+struct PieceDelivery {
+  std::uint32_t round = 0;                   // sanity: executor round index
+  std::array<std::uint64_t, 4> rng_state{};  // Rng::state() of the stream
+  EdgeList edges;                            // the machine's piece
+};
+
+template <>
+struct SummaryCodec<PieceDelivery> {
+  static constexpr SummaryShape kShape = SummaryShape::kPieceDelivery;
+  // Layout: u32 round, 4 x u64 rng state, EdgeList piece as above.
+  static void encode(const PieceDelivery& piece, WireWriter& writer);
+  static PieceDelivery decode(WireReader& reader);
+};
+
+/// Encodes a piece frame straight from a partition shard view — the hot
+/// downlink path; byte-identical to encode_frame over a PieceDelivery whose
+/// EdgeList copies the span, without materializing that copy.
+std::vector<std::uint8_t> encode_piece_frame(
+    const Edge* edges, std::size_t num_edges, VertexId num_vertices,
+    const std::array<std::uint64_t, 4>& rng_state, std::uint32_t round,
+    std::uint32_t machine);
+
+/// Frame header plus the fixed head of a kPieceDelivery payload (round, rng
+/// state, num_vertices, num_edges): everything before the edge records.
+inline constexpr std::size_t kPieceFramePrefixBytes =
+    kFrameHeaderBytes + 4 + 32 + 4 + 8;
+
+/// Frame header plus the fixed head of a kEdgeList payload (num_vertices,
+/// num_edges): everything before the edge records.
+inline constexpr std::size_t kEdgeListFramePrefixBytes =
+    kFrameHeaderBytes + 4 + 8;
+
+/// Writes the header + fixed payload prefix of an EdgeList summary frame
+/// into `out` (kEdgeListFramePrefixBytes of space); the summary's raw edge
+/// bytes follow directly on the wire. prefix + edge bytes is byte-identical
+/// to encode_frame over the same EdgeList — the uplink counterpart of
+/// encode_piece_frame_prefix, for workers whose summary IS an edge list
+/// (the bulk shape of the coreset drivers).
+void encode_edge_list_frame_prefix(const EdgeList& summary,
+                                   std::uint32_t machine, std::uint8_t* out);
+
+/// Writes the header + fixed payload prefix of a piece frame into `out`
+/// (kPieceFramePrefixBytes of space). The num_edges * 8 edge bytes follow
+/// directly on the wire, and the wire's (u32 u, u32 v) records are Edge's
+/// memory layout — so a sender can stream the shard span itself as the
+/// frame body with no staging copy. prefix + raw edge bytes is
+/// byte-identical to encode_piece_frame over the same arguments.
+void encode_piece_frame_prefix(std::size_t num_edges, VertexId num_vertices,
+                               const std::array<std::uint64_t, 4>& rng_state,
+                               std::uint32_t round, std::uint32_t machine,
+                               std::uint8_t* out);
+
+/// Encodes the (payload-free) shutdown frame of the persistent-worker exit
+/// handshake.
+std::vector<std::uint8_t> encode_shutdown_frame(std::uint32_t machine);
+
 /// Decoded frame header; `payload_bytes` bytes of payload follow on the wire.
 struct FrameHeader {
   SummaryShape shape;
@@ -207,6 +273,27 @@ void encode_frame_header(const FrameHeader& header, std::uint8_t* out);
 /// Parses and VALIDATES a 24-byte header: magic, version, reserved word,
 /// shape tag range, and the payload cap all wire_fail on violation.
 FrameHeader decode_frame_header(const std::uint8_t* bytes);
+
+/// Zero-copy view of a received kPieceDelivery payload: `edges` points INTO
+/// the frame payload (the wire's (u32 u, u32 v) records are Edge's memory
+/// layout, asserted in the codec), so a persistent worker reads its piece
+/// without materializing an owning EdgeList. Runs the same validation
+/// funnel as the owning decode — ids in range, no self-loops, exact payload
+/// consumption — just without the copy. The view borrows the payload
+/// buffer: it is valid only while the frame it was decoded from lives.
+struct PieceDeliveryView {
+  std::uint32_t round = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  VertexId num_vertices = 0;
+  const Edge* edges = nullptr;
+  std::size_t num_edges = 0;
+};
+
+/// Decodes and validates a piece frame as a borrowing view (shape-checked
+/// against kPieceDelivery; wire_fails on any violation, like
+/// decode_frame_payload).
+PieceDeliveryView decode_piece_frame_view(const FrameHeader& header,
+                                          const std::uint8_t* payload);
 
 /// Encodes one complete frame (header + payload) ready for send_all.
 template <WireSerializable T>

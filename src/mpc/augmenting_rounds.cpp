@@ -161,6 +161,9 @@ AugmentingMpcResult run_matching_rounds_augmenting(
     // M is stable for the whole machine phase (the fold's absorb only stages
     // candidates; all writes happen in finish), so concurrent shard searches
     // against it are safe — including overlapped with streaming absorbs.
+    // NOT round-invariant, though: finish rewrites M between rounds, so shm
+    // runs must re-fork per round (the default) rather than ride the
+    // persistent pool's fork-time snapshot.
     return find_augmenting_paths(piece, matched, aug.max_path_length,
                                  ctx.scratch);
   };

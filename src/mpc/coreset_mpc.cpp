@@ -123,8 +123,13 @@ CoresetMpcMatchingResult coreset_mpc_matching_rounds(
   };
   MatchingRoundFold fold(matched, graph.num_vertices(), left_size);
 
+  // The coreset build reads nothing but its shard and the machine rng, so
+  // every shm round may be served by the one persistent worker pool.
+  MpcEngineConfig exec = config;
+  exec.round_invariant_build = true;
+
   CoresetMpcMatchingResult result;
-  result.stats = run_mpc_rounds(graph, config, left_size, rng, pool, build,
+  result.stats = run_mpc_rounds(graph, exec, left_size, rng, pool, build,
                                 account, fold, workspace);
   result.matching = std::move(matched);
   result.rounds = result.stats.mpc_rounds;
@@ -149,8 +154,13 @@ CoresetMpcVcResult coreset_mpc_vertex_cover_rounds(
   };
   VcRoundFold fold(cover, n);
 
+  // Same story as the matching driver: the peeling build is a pure function
+  // of (piece, ctx, rng), so the persistent shm pool is safe.
+  MpcEngineConfig exec = config;
+  exec.round_invariant_build = true;
+
   CoresetMpcVcResult result;
-  result.stats = run_mpc_rounds(graph, config, /*left_size=*/0, rng, pool,
+  result.stats = run_mpc_rounds(graph, exec, /*left_size=*/0, rng, pool,
                                 build, account, fold, workspace);
   result.cover = std::move(cover);
   result.rounds = result.stats.mpc_rounds;

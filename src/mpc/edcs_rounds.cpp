@@ -108,6 +108,9 @@ EdcsMpcResult run_matching_rounds_edcs(EdgeSource graph,
 
   MpcEngineConfig exec = config;
   exec.round_label = "edcs-round";
+  // build_edcs reads only the shard and the const beta/lambda parameters —
+  // round-invariant, so shm runs ride the persistent worker pool.
+  exec.round_invariant_build = true;
 
   const auto build = [&](EdgeSpan piece, const PartitionContext& ctx, Rng&) {
     // Pure function of the shard's edge multiset (matching/edcs.hpp), so

@@ -109,6 +109,9 @@ FilteringMpcResult filtering_mpc_rounds(EdgeSource graph,
   FilteringRoundFold fold{result, m, n, memory_edges};
   fold.plan_for(graph.num_edges());
 
+  // NOT round-invariant: the build reads fold.rate / fold.finish_round,
+  // which the coordinator rewrites between rounds — shm runs must re-fork
+  // per round (the default) so workers see the fresh schedule.
   const auto build = [&](EdgeSpan piece, const PartitionContext&,
                          Rng& machine_rng) {
     if (fold.finish_round) return piece.to_edge_list();  // residual fits

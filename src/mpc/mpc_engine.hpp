@@ -37,8 +37,10 @@
 // the legacy single-round entry points are thin wrappers over them.
 #pragma once
 
+#include <array>
 #include <concepts>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -95,6 +97,20 @@ struct MpcEngineConfig {
   /// round's input (the coreset algorithms' accounting). Protocols that
   /// model map-side residency themselves (filtering) turn this off.
   bool charge_input_residency = true;
+
+  /// The build callable is a pure function of (piece, ctx, machine rng): it
+  /// reads no captured state the round-combiner mutates between rounds.
+  /// Round-invariant builds let the shm transport serve every round from ONE
+  /// persistent worker pool (fork k processes at round 0 — the first round's
+  /// shards ride the fork copy-on-write, later rounds ship pieces down the
+  /// rings — worker_forks == k however many rounds run). Builds
+  /// that read coordinator-evolving state (filtering's rate schedule,
+  /// augmenting's current matching) must leave this false: each shm round
+  /// then re-forks ephemeral workers whose copy-on-write snapshot sees the
+  /// fresh state — the socket transport's correctness story, minus the
+  /// socket. Drivers set this, not callers: it is a property of the build
+  /// lambda, not of the run.
+  bool round_invariant_build = false;
 
   /// Ledger label prefix for executor-declared super-steps.
   std::string round_label = "coreset-round";
@@ -227,6 +243,14 @@ struct MpcExecutionStats {
   /// MpcRoundContext::certify_ratio (augmenting combiner: 1 + 1/(k+1) when
   /// the no-augmenting-path early stop fired). 0.0 when no round certified.
   double certified_ratio = 0.0;
+  /// Transport accounting of cross-process runs (zeros for inproc): worker
+  /// processes forked over the whole run, uplink summary-frame bytes, and
+  /// downlink piece-delivery bytes. The fork-amortization claim is read
+  /// here: a persistent shm pool shows worker_forks == k no matter how many
+  /// engine rounds ran, while the socket transport shows k per round.
+  std::uint64_t worker_forks = 0;
+  std::uint64_t transport_wire_bytes = 0;
+  std::uint64_t transport_piece_bytes = 0;
   ProtocolTiming total_timing;
   std::vector<MpcRoundReport> per_round;
   std::vector<std::string> round_labels;        // one per ledger super-step
@@ -299,6 +323,39 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
   EdgeList& survivors = bufs.survivors;
   EdgeList& spare = bufs.spare;
   survivors.reset(n);
+
+  using Summary = std::decay_t<std::invoke_result_t<
+      const Build&, EdgeSpan, const PartitionContext&, Rng&>>;
+  constexpr bool streaming_capable =
+      StreamingRoundFold<std::remove_reference_t<Fold>, Summary>;
+  // The cross-process transports only exist behind the streaming combine
+  // path (frames arrive one at a time — there is no barrier to fold
+  // behind), so requesting one takes that path even without
+  // --engine-streaming; a plain callable fold cannot ride them.
+  const bool wants_socket =
+      config.streaming.transport == EngineTransport::kSocket;
+  const bool wants_shm = config.streaming.transport == EngineTransport::kShm;
+  if constexpr (!streaming_capable) {
+    RCC_CHECK(!(wants_socket || wants_shm) &&
+              "cross-process engine transports require a streaming-capable "
+              "round fold");
+  }
+  // Persistent ring workers: the shm transport forks the k machine
+  // processes ONCE per run — inside round 0, just after the first partition,
+  // so each worker's copy-on-write snapshot already holds its round-0 shard
+  // and the round-0 frame carries only the rng stream (the socket
+  // transport's free piece story, made persistent). Rounds >= 1 repartition
+  // AFTER the fork, so their pieces ship down the rings. Fork amortization
+  // is the point: the socket transport pays k forks per round, a pool pays
+  // k per run. Only builds declared round-invariant may ride the pool: a
+  // persistent worker's captures are frozen at fork time, so a build that
+  // reads state the fold mutates between rounds (filtering's rate,
+  // augmenting's matching) would silently compute against round-0 values —
+  // those drivers fall through to the engine's ephemeral shm path, which
+  // re-forks per round like the socket transport does.
+  StreamingOptions streaming_opts = config.streaming;
+  std::unique_ptr<ShmWorkerPool> shm_pool;
+
   for (std::size_t r = 0; r < config.max_rounds; ++r) {
     // Round 0 reads the source (for a mapped pack: straight off the mmap);
     // later rounds read the executor-owned survivor buffer.
@@ -311,6 +368,84 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
     parts.repartition(std::span<const Edge>(input.data(), input.num_edges()),
                       n, k, rng, pool, &ws.partition());
     const double partition_seconds = timer.seconds();
+
+    if (r == 0 && wants_shm && config.round_invariant_build) {
+      if constexpr (streaming_capable && WireSerializable<Summary>) {
+        const ShmTransportOptions& shm = config.streaming.shm;
+        shm_pool = std::make_unique<ShmWorkerPool>(k, shm);
+        shm_pool->spawn([&shm, &build, &ws, &parts, k, n, left_size](
+                            std::size_t machine,
+                            ShmWorkerEndpoint& endpoint) {
+          std::uint32_t expected_round = 0;
+          for (;;) {
+            const ReadyFrame frame = endpoint.read_frame();
+            if (frame.header.shape == SummaryShape::kShutdown) {
+              if (static_cast<long>(machine) ==
+                  shm.fault_ignore_shutdown_machine) {
+                worker_sleep_forever();
+              }
+              break;
+            }
+            const PieceDeliveryView piece =
+                decode_piece_frame_view(frame.header, frame.payload.data());
+            if (piece.round != expected_round) {
+              shm_fail("machine %zu expected a round-%u piece, got round %u",
+                       machine, expected_round, piece.round);
+            }
+            Rng machine_rng = Rng::from_state(piece.rng_state);
+            // Round 0's piece rode the fork: the frame is rng-only and the
+            // shard sits in this worker's copy-on-write snapshot. Later
+            // rounds read the piece the coordinator shipped (a borrowing
+            // view into the frame payload — no copy).
+            const EdgeSpan view =
+                expected_round == 0
+                    ? EdgeSpan(parts.shard(machine).data(),
+                               parts.shard_size(machine), n)
+                    : EdgeSpan(piece.edges, piece.num_edges,
+                               piece.num_vertices);
+            const PartitionContext ctx{view.num_vertices(), k, machine,
+                                       left_size, &ws.machine(machine)};
+            Summary summary = build(view, ctx, machine_rng);
+            if (static_cast<long>(machine) == shm.fault_kill_machine &&
+                static_cast<long>(expected_round) == shm.fault_kill_round) {
+              worker_exit_silently();
+            }
+            const bool tear_this_frame =
+                static_cast<long>(machine) == shm.fault_partial_frame_machine;
+            if constexpr (std::is_same_v<Summary, EdgeList>) {
+              // The summary IS an edge list (the coreset drivers' bulk
+              // shape): stream a stack-built prefix + the summary's raw
+              // edge bytes, skipping the frame-sized staging vector. The
+              // torn-frame fault path keeps the staged encode below — it
+              // needs the materialized frame to cut in half.
+              if (!tear_this_frame) {
+                std::array<std::uint8_t, kEdgeListFramePrefixBytes> prefix;
+                encode_edge_list_frame_prefix(
+                    summary, static_cast<std::uint32_t>(machine),
+                    prefix.data());
+                endpoint.write_frame(prefix.data(), prefix.size(),
+                                     reinterpret_cast<const std::uint8_t*>(
+                                         summary.edges().data()),
+                                     summary.num_edges() * sizeof(Edge));
+                ++expected_round;
+                continue;
+              }
+            }
+            const std::vector<std::uint8_t> out =
+                encode_frame(summary, static_cast<std::uint32_t>(machine));
+            if (tear_this_frame) {
+              endpoint.write_raw(out.data(),
+                                 kFrameHeaderBytes +
+                                     (out.size() - kFrameHeaderBytes) / 2);
+              worker_exit_silently();
+            }
+            endpoint.write_frame(out.data(), out.size());
+            ++expected_round;
+          }
+        });
+        streaming_opts.shm_pool = shm_pool.get();
+      }
+    }
 
     if (r == 0 && !config.input_already_random) {
       // Adversarially placed input pays the shuffle super-step first; the
@@ -338,23 +473,9 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
     MpcRoundContext round_ctx(
         ledger, EdgeSpan(parts.arena().data(), parts.num_edges(), n), r,
         config.max_rounds, &ws, &spare);
-    using Summary = std::decay_t<std::invoke_result_t<
-        const Build&, EdgeSpan, const PartitionContext&, Rng&>>;
-    constexpr bool streaming_capable =
-        StreamingRoundFold<std::remove_reference_t<Fold>, Summary>;
-    // The socket transport only exists behind the streaming combine path
-    // (frames arrive one at a time — there is no barrier to fold behind),
-    // so requesting it takes that path even without --engine-streaming; a
-    // plain callable fold cannot ride it.
-    const bool wants_socket =
-        config.streaming.transport == EngineTransport::kSocket;
-    if constexpr (!streaming_capable) {
-      RCC_CHECK(!wants_socket &&
-                "socket transport requires a streaming-capable round fold");
-    }
     const auto run_round = [&] {
       if constexpr (streaming_capable) {
-        if (config.streaming_fold || wants_socket) {
+        if (config.streaming_fold || wants_socket || wants_shm) {
           struct RoundStreamAdapter {
             std::remove_reference_t<Fold>& fold;
             MpcRoundContext& ctx;
@@ -370,7 +491,7 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
           } adapter{fold, round_ctx, ledger};
           return run_protocol_streaming_on_pieces<Edge>(
               pieces_of(parts), n, left_size, rng, pool, build, account,
-              adapter, config.streaming, &ws);
+              adapter, streaming_opts, &ws);
         }
       }
       return run_protocol_on_pieces<Edge>(
@@ -408,6 +529,9 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
     survivors = std::move(produced);
     ++stats.engine_rounds;
     stats.total_comm_words += result.comm.total_words();
+    stats.worker_forks += result.transport.forks;
+    stats.transport_wire_bytes += result.transport.wire_bytes;
+    stats.transport_piece_bytes += result.transport.piece_bytes;
     stats.total_timing.partition_seconds += result.timing.partition_seconds;
     stats.total_timing.summaries_seconds += result.timing.summaries_seconds;
     stats.total_timing.combine_seconds += result.timing.combine_seconds;
@@ -442,6 +566,14 @@ MpcExecutionStats run_mpc_rounds(EdgeSource graph,
         round_ctx.progress_units() == 0) {
       break;
     }
+  }
+
+  if (shm_pool != nullptr) {
+    // Exit handshake: a shutdown frame per worker, a bounded reap, and the
+    // pool's forks land in the stats (per-round telemetry reported 0 — the
+    // pool forked at spawn, which is the claim).
+    shm_pool->shutdown_and_reap();
+    stats.worker_forks += shm_pool->forks();
   }
 
   stats.mpc_rounds = ledger.rounds();

@@ -7,6 +7,7 @@
 // for some distributions).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -88,6 +89,22 @@ class Rng {
   /// Forks an independent stream: deterministic function of this generator's
   /// next outputs, suitable for seeding per-machine RNGs in parallel runs.
   Rng fork();
+
+  /// The full 256-bit generator state, for transports that ship a forked
+  /// stream to another process (the persistent shm workers receive their
+  /// per-round machine stream this way). from_state is the exact inverse:
+  /// the restored generator continues draw-for-draw where state() was taken.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  static Rng from_state(const std::array<std::uint64_t, 4>& s) {
+    Rng rng(0);
+    rng.s_[0] = s[0];
+    rng.s_[1] = s[1];
+    rng.s_[2] = s[2];
+    rng.s_[3] = s[3];
+    return rng;
+  }
 
  private:
   std::uint64_t s_[4];

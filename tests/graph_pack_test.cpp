@@ -286,6 +286,27 @@ TEST_F(PackDifferential, MatchingProtocolOverSocketTransport) {
       });
 }
 
+TEST_F(PackDifferential, MatchingProtocolOverShmTransport) {
+  // Same differential through the shared-memory rings: the forked workers
+  // inherit the mapping copy-on-write and the frames flow through the shm
+  // segment instead of loopback.
+  const MaximumMatchingCoreset coreset;
+  StreamingOptions shm;
+  shm.transport = EngineTransport::kShm;
+  expect_identical(
+      [&](EdgeSource src, Rng& rng) {
+        return run_matching_protocol_streaming(src, 5, coreset,
+                                               ComposeSolver::kMaximum, 0, rng,
+                                               /*pool=*/nullptr, shm);
+      },
+      [](const MatchingProtocolResult& heap,
+         const MatchingProtocolResult& pack) {
+        EXPECT_EQ(sorted_edges(heap.solution), sorted_edges(pack.solution));
+        EXPECT_EQ(heap.comm.total_words(), pack.comm.total_words());
+        EXPECT_EQ(pack.transport.frames, 5u);
+      });
+}
+
 TEST_F(PackDifferential, VcProtocol) {
   const PeelingVcCoreset coreset;
   expect_identical(

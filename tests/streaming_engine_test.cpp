@@ -362,6 +362,22 @@ TEST(StreamingEngine, FlagsRoundTripIntoStreamingOptions) {
   const StreamingOptions opts = streaming_options_from_options(options);
   EXPECT_EQ(opts.order, StreamingOrder::kArrival);
   EXPECT_EQ(opts.queue_capacity, 3u);
+  EXPECT_EQ(opts.transport, EngineTransport::kInproc);  // the default
+}
+
+TEST(StreamingEngine, ShmTransportFlagsRoundTripIntoStreamingOptions) {
+  Options options("streaming_engine_test");
+  add_streaming_flags(options);
+  const char* argv[] = {"test", "--engine-transport=shm",
+                        "--engine-transport-timeout-ms=2500",
+                        "--engine-shm-ring-bytes=65536"};
+  options.parse(4, const_cast<char**>(argv));
+  const StreamingOptions opts = streaming_options_from_options(options);
+  EXPECT_EQ(opts.transport, EngineTransport::kShm);
+  // One deadline flag feeds both cross-process transports.
+  EXPECT_EQ(opts.shm.timeout_ms, 2500);
+  EXPECT_EQ(opts.socket.timeout_ms, 2500);
+  EXPECT_EQ(opts.shm.ring_bytes, 65536u);
 }
 
 TEST(StreamingEngineDeath, UnknownOrderValueExitsStrictly) {
@@ -371,6 +387,27 @@ TEST(StreamingEngineDeath, UnknownOrderValueExitsStrictly) {
   options.parse(2, const_cast<char**>(argv));
   EXPECT_EXIT(streaming_options_from_options(options),
               ::testing::ExitedWithCode(2), "not one of");
+}
+
+TEST(StreamingEngineDeath, UnknownTransportValueExitsStrictly) {
+  Options options("streaming_engine_test");
+  add_streaming_flags(options);
+  const char* argv[] = {"test", "--engine-transport=pipe"};
+  options.parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT(streaming_options_from_options(options),
+              ::testing::ExitedWithCode(2),
+              "flag --engine-transport: 'pipe' is not one of 'inproc', "
+              "'socket', 'shm'");
+}
+
+TEST(StreamingEngineDeath, UndersizedShmRingExitsStrictly) {
+  Options options("streaming_engine_test");
+  add_streaming_flags(options);
+  const char* argv[] = {"test", "--engine-shm-ring-bytes=32"};
+  options.parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT(streaming_options_from_options(options),
+              ::testing::ExitedWithCode(2),
+              "flag --engine-shm-ring-bytes: 32 must be in \\[64, 2\\^30\\]");
 }
 
 }  // namespace

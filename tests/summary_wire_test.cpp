@@ -164,9 +164,9 @@ TEST(SummaryWireDeathTest, UnknownShapeTagDies) {
   frame[6] = 0;  // shape tag below the valid range
   EXPECT_DEATH(decode_full_frame(frame),
                "summary wire: unknown summary shape tag 0");
-  frame[6] = 7;  // beyond kGroupedVc
+  frame[6] = 9;  // beyond kShutdown
   EXPECT_DEATH(decode_full_frame(frame),
-               "summary wire: unknown summary shape tag 7");
+               "summary wire: unknown summary shape tag 9");
 }
 
 TEST(SummaryWireDeathTest, NonzeroReservedWordDies) {

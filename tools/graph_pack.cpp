@@ -15,7 +15,9 @@
 //
 //   # run a coreset protocol straight off the mapping (zero-copy); all
 //   # engine streaming/transport flags apply, so --engine-transport socket
-//   # exercises the forked-worker loopback path from a pack end to end
+//   # (forked workers over loopback) or --engine-transport shm (forked
+//   # workers over shared-memory rings) exercises a cross-process machine
+//   # phase from a pack end to end
 //   ./graph_pack --mode solve --input g.rgp --problem matching --k 8
 #include <cinttypes>
 #include <cstdio>
@@ -126,8 +128,9 @@ int run_solve(const Options& opts, Rng& rng) {
   const auto left_size = static_cast<VertexId>(opts.get_int("left-size"));
   ThreadPool pool(static_cast<std::size_t>(opts.get_int("threads")));
   const StreamingOptions streaming = streaming_options_from_options(opts);
+  // Cross-process transports only exist behind the streaming combine path.
   const bool stream = streaming_enabled_from_options(opts) ||
-                      streaming.transport == EngineTransport::kSocket;
+                      streaming.transport != EngineTransport::kInproc;
   const std::string problem = opts.get_string("problem");
 
   if (problem == "matching") {
